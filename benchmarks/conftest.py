@@ -1,0 +1,25 @@
+"""Shared state for the figure-regeneration benchmarks.
+
+One :class:`ExperimentRunner` is shared across every figure so the
+(benchmark, cores, strategy) simulations are computed once; each figure
+bench then renders its table from the shared results and times one
+representative fresh unit of work with pytest-benchmark.
+"""
+
+import pytest
+
+from repro.harness import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(max_cycles=20_000_000)
+
+
+@pytest.fixture(scope="session")
+def small_runner():
+    """A fresh runner over a three-benchmark subset, for timing units."""
+    return ExperimentRunner(
+        benchmarks=["gsmdecode", "179.art", "171.swim"],
+        max_cycles=20_000_000,
+    )

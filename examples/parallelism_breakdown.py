@@ -1,0 +1,33 @@
+"""Regenerate the paper's Figure 3 for a subset of the suite.
+
+For each benchmark, each region is timed under each single-strategy
+compilation on a 4-core machine, and its share of serial execution time
+is attributed to the parallelism type that ran it fastest (or to "single
+core" when nothing beat the baseline) -- the paper's methodology.
+
+    python examples/parallelism_breakdown.py [benchmark ...]
+"""
+
+import sys
+
+from repro.harness import ExperimentRunner, render_bar_breakdown
+
+DEFAULT_SUBSET = ["gsmdecode", "164.gzip", "179.art", "171.swim", "cjpeg"]
+
+
+def main(benchmarks=None):
+    names = benchmarks or DEFAULT_SUBSET
+    runner = ExperimentRunner(benchmarks=names)
+    table = runner.fig3_breakdown()
+    print(
+        render_bar_breakdown(
+            "Figure 3: fraction of execution best accelerated by each "
+            "parallelism type (4 cores)",
+            table,
+            columns=("ilp", "tlp", "llp", "single"),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or None)

@@ -1,0 +1,21 @@
+"""repro: reproduction of Voltron (HPCA 2007).
+
+Voltron extends a conventional multicore with a dual-mode scalar operand
+network and two execution modes (coupled DVLIW / decoupled fine-grain
+threads) to exploit hybrid parallelism -- ILP, fine-grain TLP, and
+statistical loop-level parallelism -- in single-thread applications.
+
+Public API layers:
+
+* :mod:`repro.isa` -- the HPL-PD-flavoured virtual ISA, IR builder, and
+  reference interpreter.
+* :mod:`repro.arch` -- machine configurations (cores, mesh, caches, network).
+* :mod:`repro.sim` -- the cycle-level Voltron simulator.
+* :mod:`repro.compiler` -- BUG/eBUG/DSWP/DOALL partitioners, the joint VLIW
+  scheduler, communication insertion, and the parallelism selection driver.
+* :mod:`repro.workloads` -- the 25-benchmark synthetic suite standing in for
+  the paper's SPEC/MediaBench programs.
+* :mod:`repro.harness` -- experiment drivers regenerating each paper figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,28 @@
+"""Machine descriptions: configurations and the 2-D mesh topology."""
+
+from .mesh import DIRECTIONS, Mesh, opposite
+
+# Imported after the .mesh submodule so the `mesh` *function* wins the
+# package attribute (the submodule stays importable via its full path).
+from .config import (
+    CacheConfig,
+    MachineConfig,
+    NetworkConfig,
+    four_core,
+    mesh,
+    single_core,
+    two_core,
+)
+
+__all__ = [
+    "CacheConfig",
+    "MachineConfig",
+    "NetworkConfig",
+    "four_core",
+    "mesh",
+    "single_core",
+    "two_core",
+    "DIRECTIONS",
+    "Mesh",
+    "opposite",
+]

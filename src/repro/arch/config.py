@@ -1,0 +1,108 @@
+"""Machine configuration for Voltron systems.
+
+Defaults follow the paper's evaluation setup (Section 5.1): single-issue
+cores, 4 kB 2-way L1 instruction and data caches, a shared 128 kB 4-way L2,
+direct-mode network latency of 1 cycle/hop, queue-mode latency of
+2 cycles + 1 cycle/hop, and coupled groups of at most 4 cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level (sizes in words; 1 word = 4 bytes)."""
+
+    size_words: int
+    associativity: int
+    line_words: int = 8
+    hit_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_words % (self.line_words * self.associativity):
+            raise ValueError("cache size must be a multiple of way size")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_words // (self.line_words * self.associativity)
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Scalar operand network parameters (paper Section 3.1)."""
+
+    direct_cycles_per_hop: int = 1
+    queue_entry_cycles: int = 1  # write into the send queue
+    queue_cycles_per_hop: int = 1
+    queue_exit_cycles: int = 1  # read from the receive queue
+    queue_depth: int = 16
+
+    def queue_latency(self, hops: int) -> int:
+        """End-to-end queue-mode latency: 2 + hops for adjacent cores."""
+        return self.queue_entry_cycles + hops * self.queue_cycles_per_hop + (
+            self.queue_exit_cycles
+        )
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A Voltron machine: cores on a 2-D mesh plus memory system parameters."""
+
+    n_cores: int = 4
+    mesh_shape: Tuple[int, int] = (2, 2)
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_words=1024, associativity=2)
+    )
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_words=1024, associativity=2)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_words=32768, associativity=4, hit_latency=7
+        )
+    )
+    memory_latency: int = 100
+    l2_banks: int = 4
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    coupled_group_size: int = 4  # stall bus reaches at most 4 cores (Sec. 3.2)
+    tm_commit_latency: int = 4  # low-cost TM commit check
+    i_fetch_words_per_op: int = 1
+
+    def __post_init__(self) -> None:
+        rows, cols = self.mesh_shape
+        if rows * cols < self.n_cores:
+            raise ValueError(
+                f"mesh {self.mesh_shape} too small for {self.n_cores} cores"
+            )
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
+
+
+def single_core() -> MachineConfig:
+    """The paper's baseline: one single-issue core, same cache sizes."""
+    return MachineConfig(n_cores=1, mesh_shape=(1, 1))
+
+
+def two_core() -> MachineConfig:
+    return MachineConfig(n_cores=2, mesh_shape=(1, 2))
+
+
+def four_core() -> MachineConfig:
+    return MachineConfig(n_cores=4, mesh_shape=(2, 2))
+
+
+def mesh(n_cores: int) -> MachineConfig:
+    """A machine with ``n_cores`` arranged in the most square *exact*
+    rectangle (every grid position holds a core, keeping XY routing
+    complete)."""
+    presets = {1: single_core, 2: two_core, 4: four_core}
+    if n_cores in presets:
+        return presets[n_cores]()
+    rows = 1
+    for candidate in range(1, int(n_cores**0.5) + 1):
+        if n_cores % candidate == 0:
+            rows = candidate
+    return MachineConfig(n_cores=n_cores, mesh_shape=(rows, n_cores // rows))

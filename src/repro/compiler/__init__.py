@@ -1,0 +1,90 @@
+"""The Voltron compiler: analysis, partitioning, scheduling, lowering."""
+
+from .codegen import Codegen, LoweringError
+from .dependence import (
+    ConstantTracker,
+    SymbolicAddress,
+    analyze_block_addresses,
+    may_alias,
+    memory_dependences,
+    resolve_address,
+)
+from .dfg import (
+    ANTI,
+    CARRIED,
+    FLOW,
+    MEMORY,
+    OUTPUT,
+    DependenceGraph,
+    build_block_dfg,
+    carried_memory_pairs,
+    carried_register_edges,
+)
+from .doall import COMBINABLE, DoallPlan, plan_doall
+from .driver import VoltronCompiler, compile_program
+from .loops import (
+    Accumulator,
+    InductionVariable,
+    Loop,
+    dominators,
+    find_loops,
+    live_in_regs,
+    live_out_regs,
+)
+from .partition import (
+    BugPartitioner,
+    DswpPartition,
+    DswpPartitioner,
+    EBugPartitioner,
+    PartitionResult,
+)
+from .profiling import ExecutionProfile, LoopProfile, Profiler, profile_program
+from .regions import Region, STRATEGIES, estimated_miss_fraction, select_regions
+from .schedule import schedule_coupled, schedule_decoupled
+
+__all__ = [
+    "Codegen",
+    "LoweringError",
+    "ConstantTracker",
+    "SymbolicAddress",
+    "analyze_block_addresses",
+    "may_alias",
+    "memory_dependences",
+    "resolve_address",
+    "ANTI",
+    "CARRIED",
+    "FLOW",
+    "MEMORY",
+    "OUTPUT",
+    "DependenceGraph",
+    "build_block_dfg",
+    "carried_memory_pairs",
+    "carried_register_edges",
+    "COMBINABLE",
+    "DoallPlan",
+    "plan_doall",
+    "VoltronCompiler",
+    "compile_program",
+    "Accumulator",
+    "InductionVariable",
+    "Loop",
+    "dominators",
+    "find_loops",
+    "live_in_regs",
+    "live_out_regs",
+    "BugPartitioner",
+    "DswpPartition",
+    "DswpPartitioner",
+    "EBugPartitioner",
+    "PartitionResult",
+    "ExecutionProfile",
+    "LoopProfile",
+    "Profiler",
+    "profile_program",
+    "Region",
+    "STRATEGIES",
+    "estimated_miss_fraction",
+    "select_regions",
+    "schedule_coupled",
+    "schedule_decoupled",
+]

@@ -1,0 +1,14 @@
+"""Operation partitioners: BUG (coupled ILP), eBUG (decoupled strands),
+and DSWP (pipeline parallelism)."""
+
+from .bug import BugPartitioner, PartitionResult
+from .ebug import EBugPartitioner
+from .dswp import DswpPartition, DswpPartitioner
+
+__all__ = [
+    "BugPartitioner",
+    "PartitionResult",
+    "EBugPartitioner",
+    "DswpPartition",
+    "DswpPartitioner",
+]

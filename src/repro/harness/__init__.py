@@ -1,0 +1,23 @@
+"""Experiment harness regenerating the paper's figures."""
+
+from .experiments import (
+    ExperimentRunner,
+    RunResult,
+    SINGLE_STRATEGIES,
+    arithmean,
+    geomean,
+)
+from .reporting import render_bar_breakdown, render_table
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "ExperimentRunner",
+    "RunResult",
+    "SINGLE_STRATEGIES",
+    "arithmean",
+    "geomean",
+    "render_bar_breakdown",
+    "render_table",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,165 @@
+"""Command-line interface to the reproduction.
+
+    python -m repro.harness.cli list
+    python -m repro.harness.cli run --benchmark gsmdecode --cores 4 \
+        --strategy hybrid
+    python -m repro.harness.cli figure --figure 10
+    python -m repro.harness.cli figure --figure 13 --benchmarks gsmdecode epic
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..sim.stats import STALL_CATEGORIES
+from ..workloads.suite import BENCHMARKS
+from .experiments import ExperimentRunner, SINGLE_STRATEGIES
+from .reporting import render_bar_breakdown, render_table
+
+FIGURES = ("3", "7-9", "10", "11", "12", "13", "14")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli",
+        description="Voltron (HPCA 2007) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite")
+
+    run = sub.add_parser("run", help="run one benchmark end to end")
+    run.add_argument("--benchmark", required=True, choices=sorted(BENCHMARKS))
+    run.add_argument("--cores", type=int, default=4, choices=(1, 2, 4))
+    run.add_argument(
+        "--strategy",
+        default="hybrid",
+        choices=("baseline", "ilp", "tlp", "llp", "hybrid"),
+    )
+    run.add_argument(
+        "--stalls", action="store_true", help="print the stall breakdown"
+    )
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("--figure", required=True, choices=FIGURES)
+    figure.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        help="restrict to a subset (default: all 25)",
+    )
+    return parser
+
+
+def _cmd_list(out) -> int:
+    for name in BENCHMARKS:
+        print(name, file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    runner = ExperimentRunner(benchmarks=[args.benchmark])
+    n_cores = args.cores
+    strategy = "baseline" if n_cores == 1 else args.strategy
+    result = runner.run(args.benchmark, n_cores, strategy)
+    base = runner.baseline(args.benchmark)
+    stats = result.stats
+    print(f"benchmark : {args.benchmark}", file=out)
+    print(f"machine   : {n_cores} core(s), strategy {strategy}", file=out)
+    print(f"cycles    : {stats.cycles} (baseline {base.cycles}, "
+          f"speedup {base.cycles / stats.cycles:.2f}x)", file=out)
+    print(f"mode time : {stats.mode_fraction('coupled'):.0%} coupled / "
+          f"{stats.mode_fraction('decoupled'):.0%} decoupled", file=out)
+    print(f"txns      : {stats.tx_commits} commits, {stats.tx_aborts} "
+          f"aborts; {stats.spawns} spawns", file=out)
+    print("correct   : outputs match the reference interpreter", file=out)
+    if args.stalls:
+        for category in STALL_CATEGORIES:
+            mean = stats.mean_stalls(category)
+            if mean:
+                print(f"  stall {category:10s}: {mean:10.1f} "
+                      "cycles/core", file=out)
+    return 0
+
+
+def _cmd_figure(args, out) -> int:
+    runner = ExperimentRunner(benchmarks=args.benchmarks)
+    figure = args.figure
+    if figure == "3":
+        print(
+            render_bar_breakdown(
+                "Figure 3: parallelism breakdown (4 cores)",
+                runner.fig3_breakdown(),
+                columns=("ilp", "tlp", "llp", "single"),
+            ),
+            file=out,
+        )
+    elif figure == "7-9":
+        for label, value in runner.figure7_9_examples().items():
+            print(f"{label:22s} {value:.2f}x", file=out)
+    elif figure in ("10", "11"):
+        n_cores = 2 if figure == "10" else 4
+        print(
+            render_table(
+                f"Figure {figure}: {n_cores}-core speedups per type",
+                runner.fig10_11_speedups(n_cores),
+                columns=SINGLE_STRATEGIES,
+            ),
+            file=out,
+        )
+    elif figure == "12":
+        table = runner.fig12_stalls()
+        flat = {
+            f"{name} [{mode[:3]}]": row[mode]
+            for name, row in table.items()
+            for mode in ("coupled", "decoupled")
+        }
+        print(
+            render_table(
+                "Figure 12: stalls / serial time (4 cores)",
+                flat,
+                columns=("istall", "dstall", "recv_data", "recv_pred",
+                         "call_sync"),
+                fmt="{:.3f}",
+                average_row=False,
+            ),
+            file=out,
+        )
+    elif figure == "13":
+        hybrid = runner.fig13_hybrid()
+        print(
+            render_table(
+                "Figure 13: hybrid speedups",
+                {k: {"2core": v[2], "4core": v[4]} for k, v in hybrid.items()},
+                columns=("2core", "4core"),
+            ),
+            file=out,
+        )
+    elif figure == "14":
+        print(
+            render_bar_breakdown(
+                "Figure 14: time per execution mode (hybrid, 4 cores)",
+                runner.fig14_mode_time(),
+                columns=("coupled", "decoupled"),
+            ),
+            file=out,
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "figure":
+        return _cmd_figure(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,263 @@
+"""Experiment drivers: one entry point per paper figure.
+
+Every simulation is functionally checked against the reference
+interpreter (a run with wrong output arrays is a harness failure, not a
+data point).  Results are memoized per (benchmark, cores, strategy) so
+the figure drivers can share runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.config import MachineConfig, mesh, single_core
+from ..compiler.driver import VoltronCompiler
+from ..isa.interp import run_program
+from ..isa.registers import Value
+from ..sim.machine import VoltronMachine
+from ..sim.stats import MachineStats, STALL_CATEGORIES
+from ..workloads.suite import BENCHMARKS, Benchmark, build
+
+#: Strategies evaluated per figure.
+SINGLE_STRATEGIES = ("ilp", "tlp", "llp")
+
+
+@dataclass
+class RunResult:
+    benchmark: str
+    n_cores: int
+    strategy: str
+    cycles: int
+    stats: MachineStats
+    correct: bool
+    #: (function, machine label) -> region descriptor (rid/strategy/origin).
+    region_table: Dict[Tuple[str, str], Dict[str, object]]
+
+
+class ExperimentRunner:
+    """Builds, compiles, simulates, and caches the whole suite."""
+
+    def __init__(
+        self,
+        benchmarks: Optional[Sequence[str]] = None,
+        seed: int = 1,
+        max_cycles: int = 50_000_000,
+    ) -> None:
+        self.names = list(benchmarks) if benchmarks is not None else list(
+            BENCHMARKS
+        )
+        self.seed = seed
+        self.max_cycles = max_cycles
+        self._built: Dict[str, Benchmark] = {}
+        self._compilers: Dict[str, VoltronCompiler] = {}
+        self._references: Dict[str, Dict[str, List[Value]]] = {}
+        self._runs: Dict[Tuple[str, int, str], RunResult] = {}
+
+    # -- building blocks -----------------------------------------------------------
+
+    def benchmark(self, name: str) -> Benchmark:
+        if name not in self._built:
+            self._built[name] = build(name, self.seed)
+        return self._built[name]
+
+    def compiler(self, name: str) -> VoltronCompiler:
+        if name not in self._compilers:
+            self._compilers[name] = VoltronCompiler(self.benchmark(name).program)
+        return self._compilers[name]
+
+    def reference_outputs(self, name: str) -> Dict[str, List[Value]]:
+        if name not in self._references:
+            bench = self.benchmark(name)
+            result = run_program(bench.program)
+            self._references[name] = {
+                array: result.array_values(bench.program, array)
+                for array in bench.outputs
+            }
+        return self._references[name]
+
+    def run(self, name: str, n_cores: int, strategy: str) -> RunResult:
+        key = (name, n_cores, strategy)
+        if key in self._runs:
+            return self._runs[key]
+        bench = self.benchmark(name)
+        config = single_core() if n_cores == 1 else mesh(n_cores)
+        compiled = self.compiler(name).compile(strategy, config)
+        machine = VoltronMachine(compiled, config, max_cycles=self.max_cycles)
+        stats = machine.run()
+        reference = self.reference_outputs(name)
+        correct = all(
+            machine.array_values(array) == values
+            for array, values in reference.items()
+        )
+        if not correct:
+            raise AssertionError(
+                f"{name} [{n_cores}-core {strategy}] produced wrong output"
+            )
+        result = RunResult(
+            benchmark=name,
+            n_cores=n_cores,
+            strategy=strategy,
+            cycles=stats.cycles,
+            stats=stats,
+            correct=correct,
+            region_table=compiled.attrs.get("regions", {}),
+        )
+        self._runs[key] = result
+        return result
+
+    def baseline(self, name: str) -> RunResult:
+        return self.run(name, 1, "baseline")
+
+    def speedup(self, name: str, n_cores: int, strategy: str) -> float:
+        return self.baseline(name).cycles / self.run(name, n_cores, strategy).cycles
+
+    # -- figures ------------------------------------------------------------------
+
+    def fig10_11_speedups(self, n_cores: int) -> Dict[str, Dict[str, float]]:
+        """Figure 10 (2 cores) / Figure 11 (4 cores): per-benchmark speedup
+        when exploiting each parallelism type individually."""
+        table: Dict[str, Dict[str, float]] = {}
+        for name in self.names:
+            table[name] = {
+                strategy: self.speedup(name, n_cores, strategy)
+                for strategy in SINGLE_STRATEGIES
+            }
+        return table
+
+    def fig12_stalls(self, n_cores: int = 4) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Figure 12: stall cycles (per-core mean) under coupled-mode ILP
+        vs decoupled fine-grain TLP, normalized to serial execution time."""
+        table: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for name in self.names:
+            serial = self.baseline(name).cycles
+            row: Dict[str, Dict[str, float]] = {}
+            for strategy, label in (("ilp", "coupled"), ("tlp", "decoupled")):
+                stats = self.run(name, n_cores, strategy).stats
+                row[label] = {
+                    category: stats.mean_stalls(category) / serial
+                    for category in STALL_CATEGORIES
+                }
+            table[name] = row
+        return table
+
+    def fig13_hybrid(self) -> Dict[str, Dict[int, float]]:
+        """Figure 13: hybrid speedups on 2- and 4-core Voltron."""
+        return {
+            name: {
+                n: self.speedup(name, n, "hybrid")
+                for n in (2, 4)
+            }
+            for name in self.names
+        }
+
+    def fig14_mode_time(self, n_cores: int = 4) -> Dict[str, Dict[str, float]]:
+        """Figure 14: fraction of hybrid execution spent in each mode."""
+        table = {}
+        for name in self.names:
+            stats = self.run(name, n_cores, "hybrid").stats
+            table[name] = {
+                "coupled": stats.mode_fraction("coupled"),
+                "decoupled": stats.mode_fraction("decoupled"),
+            }
+        return table
+
+    def fig3_breakdown(self, n_cores: int = 4) -> Dict[str, Dict[str, float]]:
+        """Figure 3: fraction of serial execution best accelerated by each
+        parallelism type on a 4-core system.
+
+        Methodology mirrors the paper: each region is timed under each
+        single-strategy compilation; the region's serial-time fraction is
+        attributed to the type that ran it fastest (or to "single core"
+        when no strategy beats the baseline)."""
+        table: Dict[str, Dict[str, float]] = {}
+        for name in self.names:
+            base = self.baseline(name)
+            base_groups = _group_cycles(base)
+            total = sum(base_groups.values()) or 1
+            strategy_groups = {
+                strategy: _group_cycles(self.run(name, n_cores, strategy))
+                for strategy in SINGLE_STRATEGIES
+            }
+            fractions = {"ilp": 0.0, "tlp": 0.0, "llp": 0.0, "single": 0.0}
+            for origin, serial_cycles in base_groups.items():
+                times = {
+                    strategy: groups.get(origin, serial_cycles)
+                    for strategy, groups in strategy_groups.items()
+                }
+                best_strategy = min(times, key=lambda s: times[s])
+                weight = serial_cycles / total
+                if times[best_strategy] < serial_cycles:
+                    fractions[best_strategy] += weight
+                else:
+                    fractions["single"] += weight
+            table[name] = fractions
+        return table
+
+    def figure7_9_examples(self) -> Dict[str, float]:
+        """Paper Sections 4.2 examples: measured 2-core speedups for the
+        Fig. 7 (DOALL), Fig. 8 (strands), and Fig. 9 (ILP) loop shapes,
+        computed from the kernels that embody them."""
+        from ..workloads.kernels import KernelContext
+        from ..isa.builder import ProgramBuilder
+        from ..workloads import doall_kernel, ilp_kernel, match_kernel
+
+        results = {}
+        for label, kernel, kwargs, strategy in (
+            ("fig7_gsm_llp", doall_kernel, {"trips": 256, "work": 3}, "llp"),
+            ("fig8_gzip_strands", match_kernel, {"length": 320}, "tlp"),
+            (
+                "fig9_gsm_ilp",
+                ilp_kernel,
+                # The paper's Fig. 9 filter: four independent multiply
+                # chains (no cross-chain shuffle), compiled coupled.
+                {"trips": 200, "chains": 4, "depth": 5, "shuffle": False},
+                "ilp",
+            ),
+        ):
+            pb = ProgramBuilder(label)
+            fb = pb.function("main")
+            fb.block("entry")
+            ctx = KernelContext(pb=pb, fb=fb, seed=7)
+            out = kernel(ctx, **kwargs)
+            fb.halt()
+            program = pb.finish()
+            reference = run_program(program)
+            compiler = VoltronCompiler(program)
+            base_machine = VoltronMachine(
+                compiler.compile("baseline", single_core()), single_core()
+            )
+            base = base_machine.run().cycles
+            config = mesh(2)
+            machine = VoltronMachine(compiler.compile(strategy, config), config)
+            cycles = machine.run().cycles
+            assert machine.array_values(out) == reference.array_values(
+                program, out
+            )
+            results[label] = base / cycles
+        return results
+
+
+def _group_cycles(result: RunResult) -> Dict[str, int]:
+    """Aggregate block cycles by original region label."""
+    groups: Dict[str, int] = {}
+    for (function, label), cycles in result.stats.block_cycles.items():
+        descriptor = result.region_table.get((function, label))
+        origin = descriptor["origin"] if descriptor else label
+        key = f"{function}:{origin}"
+        groups[key] = groups.get(key, 0) + cycles
+    return groups
+
+
+def geomean(values: Sequence[float]) -> float:
+    product = 1.0
+    count = 0
+    for value in values:
+        product *= value
+        count += 1
+    return product ** (1.0 / count) if count else 0.0
+
+
+def arithmean(values: Sequence[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

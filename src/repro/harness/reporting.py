@@ -1,0 +1,56 @@
+"""ASCII rendering of experiment results in the paper's row format."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from .experiments import arithmean
+
+
+def render_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    fmt: str = "{:.2f}",
+    average_row: bool = True,
+) -> str:
+    """Render {benchmark: {column: value}} as a fixed-width table."""
+    name_width = max([len(name) for name in rows] + [len("benchmark"), 12])
+    col_width = max([len(c) for c in columns] + [8])
+    lines = [title]
+    header = "benchmark".ljust(name_width) + "".join(
+        column.rjust(col_width + 2) for column in columns
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in rows.items():
+        cells = "".join(
+            fmt.format(row.get(column, float("nan"))).rjust(col_width + 2)
+            for column in columns
+        )
+        lines.append(name.ljust(name_width) + cells)
+    if average_row:
+        lines.append("-" * len(header))
+        cells = "".join(
+            fmt.format(
+                arithmean([row.get(column, 0.0) for row in rows.values()])
+            ).rjust(col_width + 2)
+            for column in columns
+        )
+        lines.append("average".ljust(name_width) + cells)
+    return "\n".join(lines)
+
+
+def render_bar_breakdown(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    scale: float = 100.0,
+    suffix: str = "%",
+) -> str:
+    """Render stacked-percentage rows (Fig. 3 / Fig. 14 style)."""
+    scaled = {
+        name: {column: row.get(column, 0.0) * scale for column in columns}
+        for name, row in rows.items()
+    }
+    return render_table(title, scaled, columns, fmt="{:.1f}" + suffix)

@@ -1,0 +1,50 @@
+"""HPL-PD-flavoured virtual ISA: operations, programs, builder, interpreter."""
+
+from .operations import (
+    COMM_OPCODES,
+    CONTROL_OPCODES,
+    MEMORY_OPCODES,
+    Imm,
+    Opcode,
+    Operand,
+    Operation,
+    Reg,
+    RegFile,
+    make_op,
+)
+from .registers import RegisterAllocator, RegisterFile, UninitializedRegister, Value
+from .program import ArraySymbol, BasicBlock, Function, Program
+from .builder import FunctionBuilder, ProgramBuilder, as_operand
+from .latencies import latency_of, scheduling_latency
+from .interp import Interpreter, InterpResult, InterpreterError, OutOfFuel, run_program
+
+__all__ = [
+    "COMM_OPCODES",
+    "CONTROL_OPCODES",
+    "MEMORY_OPCODES",
+    "Imm",
+    "Opcode",
+    "Operand",
+    "Operation",
+    "Reg",
+    "RegFile",
+    "make_op",
+    "RegisterAllocator",
+    "RegisterFile",
+    "UninitializedRegister",
+    "Value",
+    "ArraySymbol",
+    "BasicBlock",
+    "Function",
+    "Program",
+    "FunctionBuilder",
+    "ProgramBuilder",
+    "as_operand",
+    "latency_of",
+    "scheduling_latency",
+    "Interpreter",
+    "InterpResult",
+    "InterpreterError",
+    "OutOfFuel",
+    "run_program",
+]

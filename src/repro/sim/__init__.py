@@ -1,0 +1,36 @@
+"""Cycle-level Voltron simulator."""
+
+from .caches import L1ICache, SetAssocCache, SharedL2, SnoopBus
+from .core import BARRIER_WAIT, HALTED, LISTENING, RUNNING, Core
+from .machine import Deadlock, OutOfCycles, SimulatorError, VoltronMachine
+from .memory import MainMemory, WriteBuffer
+from .network import DirectWires, Message, NetworkError, OperandNetwork
+from .stats import STALL_CATEGORIES, CoreStats, MachineStats
+from .tm import TransactionError, TransactionalMemory
+
+__all__ = [
+    "L1ICache",
+    "SetAssocCache",
+    "SharedL2",
+    "SnoopBus",
+    "BARRIER_WAIT",
+    "HALTED",
+    "LISTENING",
+    "RUNNING",
+    "Core",
+    "Deadlock",
+    "OutOfCycles",
+    "SimulatorError",
+    "VoltronMachine",
+    "MainMemory",
+    "WriteBuffer",
+    "DirectWires",
+    "Message",
+    "NetworkError",
+    "OperandNetwork",
+    "STALL_CATEGORIES",
+    "CoreStats",
+    "MachineStats",
+    "TransactionError",
+    "TransactionalMemory",
+]

@@ -1,0 +1,253 @@
+"""Cache hierarchy: private L1s kept coherent by a snooping MOESI bus,
+plus a shared (banked) L2.
+
+Timing-only model (values live in :class:`repro.sim.memory.MainMemory`):
+every access returns the number of cycles the in-order core is occupied.
+An L1 hit costs ``l1.hit_latency``; misses add the supplier's latency --
+another L1 (cache-to-cache transfer, priced like an L2 hit, the paper's
+"coherence of caches is handled by a bus-based snooping protocol"), the
+shared L2, or main memory.
+
+State machine (MOESI):
+
+* read miss: a Modified/Owned/Exclusive holder supplies the line and
+  transitions M->O, E->S (O stays O); the requester loads in S.  With no
+  holder the L2/memory supplies and the requester loads in E (no sharers)
+  or S.
+* write miss / upgrade: every other copy is invalidated; the requester
+  holds M.
+* eviction of an M or O line writes back into the L2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.config import CacheConfig, MachineConfig
+
+MODIFIED = "M"
+OWNED = "O"
+EXCLUSIVE = "E"
+SHARED = "S"
+INVALID = "I"
+
+#: States in which an L1 can supply data on a snoop.
+SUPPLIER_STATES = (MODIFIED, OWNED, EXCLUSIVE)
+
+
+@dataclass
+class CacheLine:
+    tag: int
+    state: str
+    last_used: int
+
+
+class SetAssocCache:
+    """A set-associative array of tags with LRU replacement."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.sets: List[Dict[int, CacheLine]] = [
+            {} for _ in range(config.n_sets)
+        ]
+        self._tick = itertools.count()
+
+    def _index(self, line_addr: int) -> Tuple[int, int]:
+        return line_addr % self.config.n_sets, line_addr // self.config.n_sets
+
+    def lookup(self, line_addr: int) -> Optional[CacheLine]:
+        index, tag = self._index(line_addr)
+        line = self.sets[index].get(tag)
+        if line is not None and line.state != INVALID:
+            line.last_used = next(self._tick)
+            return line
+        return None
+
+    def insert(self, line_addr: int, state: str) -> Optional[Tuple[int, str]]:
+        """Install a line; returns (line_addr, state) of any eviction."""
+        index, tag = self._index(line_addr)
+        cache_set = self.sets[index]
+        evicted: Optional[Tuple[int, str]] = None
+        existing = cache_set.get(tag)
+        if existing is not None:
+            existing.state = state
+            existing.last_used = next(self._tick)
+            return None
+        if len(cache_set) >= self.config.associativity:
+            victim_tag, victim = min(
+                cache_set.items(), key=lambda item: item[1].last_used
+            )
+            del cache_set[victim_tag]
+            if victim.state != INVALID:
+                evicted = (victim_tag * self.config.n_sets + index, victim.state)
+        cache_set[tag] = CacheLine(tag, state, next(self._tick))
+        return evicted
+
+    def invalidate(self, line_addr: int) -> Optional[str]:
+        index, tag = self._index(line_addr)
+        line = self.sets[index].get(tag)
+        if line is None or line.state == INVALID:
+            return None
+        previous = line.state
+        del self.sets[index][tag]
+        return previous
+
+    def state_of(self, line_addr: int) -> str:
+        index, tag = self._index(line_addr)
+        line = self.sets[index].get(tag)
+        return line.state if line is not None else INVALID
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self.sets)
+
+
+class SharedL2:
+    """The shared, banked L2.  Banking is tracked for statistics; bank
+    conflicts are not modelled (documented simplification)."""
+
+    def __init__(self, config: CacheConfig, n_banks: int) -> None:
+        self.array = SetAssocCache(config)
+        self.config = config
+        self.n_banks = n_banks
+        self.bank_accesses = [0] * n_banks
+        self.hits = 0
+        self.misses = 0
+
+    def bank_of(self, line_addr: int) -> int:
+        return line_addr % self.n_banks
+
+    def access(self, line_addr: int) -> bool:
+        """Returns True on hit; installs the line on miss."""
+        self.bank_accesses[self.bank_of(line_addr)] += 1
+        if self.array.lookup(line_addr) is not None:
+            self.hits += 1
+            return True
+        self.misses += 1
+        self.array.insert(line_addr, EXCLUSIVE)
+        return False
+
+    def writeback(self, line_addr: int) -> None:
+        self.array.insert(line_addr, MODIFIED)
+
+
+class L1ICache:
+    """Private instruction cache; fills from the shared L2."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.array = SetAssocCache(config)
+        self.config = config
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int, l2: SharedL2, memory_latency: int) -> int:
+        """Extra fetch cycles: 0 on a hit, L2/memory latency on a miss."""
+        line_addr = addr // self.config.line_words
+        if self.array.lookup(line_addr) is not None:
+            self.hits += 1
+            return 0
+        self.misses += 1
+        l2_hit = l2.access(line_addr)
+        self.array.insert(line_addr, SHARED)
+        return l2.config.hit_latency if l2_hit else memory_latency
+
+
+class SnoopBus:
+    """The shared snooping bus tying the L1 data caches to the L2."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.l1ds: List[SetAssocCache] = [
+            SetAssocCache(config.l1d) for _ in range(config.n_cores)
+        ]
+        self.l2 = SharedL2(config.l2, config.l2_banks)
+        self.upgrade_latency = 2  # bus invalidate round
+        self.invalidations = 0
+        self.cache_to_cache = 0
+
+    # -- public interface ----------------------------------------------------
+
+    def access(self, core: int, addr: int, is_store: bool) -> Tuple[int, bool]:
+        """Perform a data access; returns (cycles, was_miss)."""
+        line_addr = addr // self.config.l1d.line_words
+        l1 = self.l1ds[core]
+        line = l1.lookup(line_addr)
+        hit_latency = self.config.l1d.hit_latency
+
+        if line is not None:
+            if not is_store:
+                return hit_latency, False
+            if line.state in (MODIFIED, EXCLUSIVE):
+                line.state = MODIFIED
+                return hit_latency, False
+            # Store to a Shared/Owned line: bus upgrade.
+            self._invalidate_others(core, line_addr)
+            line.state = MODIFIED
+            return hit_latency + self.upgrade_latency, False
+
+        supplier_latency = self._fetch(core, line_addr, is_store)
+        new_state = MODIFIED if is_store else self._fill_state(core, line_addr)
+        if is_store:
+            self._invalidate_others(core, line_addr)
+        evicted = l1.insert(line_addr, new_state)
+        if evicted is not None and evicted[1] in (MODIFIED, OWNED):
+            self.l2.writeback(evicted[0])
+        return hit_latency + supplier_latency, True
+
+    def flush_core(self, core: int) -> None:
+        """Write back and drop every line a core holds (used by tests)."""
+        l1 = self.l1ds[core]
+        for index, cache_set in enumerate(l1.sets):
+            for tag, line in list(cache_set.items()):
+                if line.state in (MODIFIED, OWNED):
+                    self.l2.writeback(tag * l1.config.n_sets + index)
+            cache_set.clear()
+
+    # -- protocol internals ----------------------------------------------------
+
+    def _holders(self, requester: int, line_addr: int) -> List[Tuple[int, CacheLine]]:
+        holders = []
+        for other, l1 in enumerate(self.l1ds):
+            if other == requester:
+                continue
+            index, tag = l1._index(line_addr)
+            line = l1.sets[index].get(tag)
+            if line is not None and line.state != INVALID:
+                holders.append((other, line))
+        return holders
+
+    def _fetch(self, core: int, line_addr: int, is_store: bool) -> int:
+        """Latency for the data supplier on a miss."""
+        holders = self._holders(core, line_addr)
+        supplier = next(
+            (line for _, line in holders if line.state in SUPPLIER_STATES), None
+        )
+        if supplier is not None:
+            self.cache_to_cache += 1
+            if not is_store:
+                if supplier.state == MODIFIED:
+                    supplier.state = OWNED
+                elif supplier.state == EXCLUSIVE:
+                    supplier.state = SHARED
+            # Cache-to-cache transfers cost about an L2 hit on the shared bus.
+            return self.config.l2.hit_latency
+        if holders:
+            # Shared-only copies: the L2 still holds clean data.
+            self.l2.access(line_addr)
+            return self.config.l2.hit_latency
+        l2_hit = self.l2.access(line_addr)
+        return self.config.l2.hit_latency if l2_hit else self.config.memory_latency
+
+    def _fill_state(self, core: int, line_addr: int) -> str:
+        return SHARED if self._holders(core, line_addr) else EXCLUSIVE
+
+    def _invalidate_others(self, core: int, line_addr: int) -> None:
+        for other, l1 in enumerate(self.l1ds):
+            if other == core:
+                continue
+            previous = l1.invalidate(line_addr)
+            if previous is not None:
+                self.invalidations += 1
+                if previous in (MODIFIED, OWNED):
+                    self.l2.writeback(line_addr)

@@ -1,0 +1,659 @@
+"""The Voltron machine: cycle-level simulation of dual-mode execution.
+
+Orchestration responsibilities (paper Sections 3.2-3.3):
+
+* **Coupled mode** -- all cores of a group advance in lock-step; the 1-bit
+  stall bus is modelled by stalling the whole group whenever any member is
+  blocked (cache miss, scoreboard interlock).  PUT/BCAST drive the direct
+  wires in the first half of the cycle and GETs latch them in the second,
+  which is how the compiler-aligned PUT/GET pairs meet in the same cycle.
+* **Decoupled mode** -- cores step independently; RECV stalls only the
+  receiving core; SPAWN/SLEEP/LISTEN/RELEASE implement the lightweight
+  fine-grain thread protocol; CALL acts as a barrier ("synchronization
+  before function calls and returns") after which the callee executes in
+  lock-step and the pre-call mode is restored on return.
+* **MODE_SWITCH** -- switching to decoupled happens in lock-step
+  (compiler-aligned, takes effect next cycle); switching to coupled is a
+  barrier: cores wait until the last one arrives, then resume lock-step.
+* **Transactions** -- TX_BEGIN checkpoints registers (the compiler's
+  register rollback) and opens a TM write buffer; TX_COMMIT enforces
+  ordered commit and on conflict rolls the chunk back to its restart block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..arch.config import MachineConfig
+from ..arch.mesh import Mesh
+from ..isa.latencies import latency_of
+from ..isa.machinecode import CompiledProgram
+from ..isa.operations import (
+    ALU_SEMANTICS,
+    COMPARISONS,
+    Opcode,
+    Operation,
+    Reg,
+    RegFile,
+)
+from ..isa.registers import Value
+from .caches import L1ICache, SnoopBus
+from .core import BARRIER_WAIT, HALTED, LISTENING, RUNNING, Core
+from .memory import MainMemory
+from .network import NetworkError, OperandNetwork
+from .stats import MachineStats
+from .tm import TransactionalMemory
+
+#: Per-core instruction address spaces start here (clear of data addresses).
+ICODE_BASE = 1 << 24
+
+
+class SimulatorError(Exception):
+    pass
+
+
+class OutOfCycles(SimulatorError):
+    """The cycle budget was exhausted (likely deadlock or livelock)."""
+
+
+class Deadlock(SimulatorError):
+    pass
+
+
+class VoltronMachine:
+    """Executes a :class:`CompiledProgram` on a configured Voltron system."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        config: MachineConfig,
+        max_cycles: int = 20_000_000,
+        args: Tuple[Value, ...] = (),
+    ) -> None:
+        if compiled.n_cores != config.n_cores:
+            raise ValueError(
+                f"program compiled for {compiled.n_cores} cores, "
+                f"machine has {config.n_cores}"
+            )
+        compiled.validate()
+        compiled.assign_addresses()
+        self.compiled = compiled
+        self.config = config
+        self.max_cycles = max_cycles
+
+        rows, cols = config.mesh_shape
+        self.mesh = Mesh(rows, cols, config.n_cores)
+        self.memory = MainMemory(compiled.program.initial_memory)
+        self.bus = SnoopBus(config)
+        self.icaches = [L1ICache(config.l1i) for _ in range(config.n_cores)]
+        self.network = OperandNetwork(self.mesh, config.network)
+        self.tm = TransactionalMemory(self.memory)
+
+        self.cores = [Core(i) for i in range(config.n_cores)]
+        main_params = compiled.program.main().params
+        if len(args) != len(main_params):
+            raise ValueError(
+                f"main expects {len(main_params)} args, got {len(args)}"
+            )
+        for core in self.cores:
+            core.push_frame(compiled.entry_function(core.id), return_dest=None)
+            # Program arguments materialize in every core's register file
+            # (the run-time loader's job, mirroring the interpreter).
+            for reg, value in zip(main_params, args):
+                core.write_reg(reg, value, 0)
+        self.stats = MachineStats(n_cores=config.n_cores)
+        for core in self.cores:
+            core.stats = self.stats.cores[core.id]
+
+        self.mode = "coupled"
+        self._mode_next: Optional[str] = None
+        self.cycle = 0
+        self.return_value: Value = None
+        # Optional tracing: callables invoked as fn(cycle, core_id, op)
+        # for every executed operation (kept empty in performance runs).
+        self.op_observers: List = []
+        # Barriers: kind -> set of arrived core ids.
+        self._barrier: Dict[str, Set[int]] = {}
+        # Cores released from a barrier become RUNNING at the next cycle
+        # boundary (releasing mid-cycle would let cores later in the step
+        # order run an extra op and break lock-step alignment).
+        self._deferred_release: Set[int] = set()
+        # (call depth to restore at, mode to restore) entries.
+        self._mode_restore: List[Tuple[int, str]] = []
+        self._restore_done_this_cycle = False
+        # Coupled groups: consecutive runs of at most coupled_group_size cores.
+        size = config.coupled_group_size
+        self.groups: List[List[Core]] = [
+            self.cores[i : i + size] for i in range(0, config.n_cores, size)
+        ]
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self) -> MachineStats:
+        while not self._all_halted():
+            if self.cycle >= self.max_cycles:
+                raise OutOfCycles(
+                    f"exceeded {self.max_cycles} cycles at state "
+                    f"{[repr(c) for c in self.cores]}"
+                )
+            self._check_deadlock()
+            self.network.deliver(self.cycle)
+            self._restore_done_this_cycle = False
+            if self._deferred_release:
+                for core_id in self._deferred_release:
+                    if self.cores[core_id].status == BARRIER_WAIT:
+                        self.cores[core_id].status = RUNNING
+                self._deferred_release.clear()
+            if self.mode == "coupled":
+                for group in self.groups:
+                    self._step_group(group)
+            else:
+                for core in self.cores:
+                    self._step_decoupled(core)
+            self.stats.mode_cycles[self.mode] += 1
+            master = self.cores[0]
+            if master.stack:
+                frame = master.frame
+                key = (frame.function.name, frame.block.label)
+                self.stats.block_cycles[key] = (
+                    self.stats.block_cycles.get(key, 0) + 1
+                )
+            if self._mode_next is not None:
+                if self._mode_next != self.mode:
+                    self.stats.mode_switches += 1
+                self.mode = self._mode_next
+                self._mode_next = None
+            self.cycle += 1
+        self.stats.cycles = self.cycle
+        self.stats.tx_commits = self.tm.commits
+        self.stats.tx_aborts = self.tm.aborts
+        return self.stats
+
+    def final_memory(self) -> Dict[int, Value]:
+        return self.memory.as_dict()
+
+    def array_values(self, name: str) -> List[Value]:
+        symbol = self.compiled.program.array(name)
+        return [self.memory.load(symbol.base + i) for i in range(symbol.size)]
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _all_halted(self) -> bool:
+        return all(core.status == HALTED for core in self.cores)
+
+    def _live_cores(self) -> List[Core]:
+        return [core for core in self.cores if core.status != HALTED]
+
+    def _check_deadlock(self) -> None:
+        live = self._live_cores()
+        if not live:
+            return
+        if (
+            all(core.status == LISTENING for core in live)
+            and self.network.quiescent()
+        ):
+            raise Deadlock(
+                f"cycle {self.cycle}: every live core is listening and the "
+                "network is quiescent"
+            )
+
+    # -- coupled (lock-step) stepping -------------------------------------------------
+
+    def _step_group(self, group: List[Core]) -> None:
+        running = [core for core in group if core.status == RUNNING]
+        if not running:
+            return
+
+        # Stall bus: any blocked member stalls the whole group.
+        blocked = [core for core in running if core.next_free > self.cycle]
+        if blocked:
+            group_cause = blocked[0].pending_cause or "latency"
+            for core in running:
+                if core.next_free > self.cycle:
+                    core.stats.stall(core.pending_cause or "latency")
+                else:
+                    core.stats.stall(group_cause)
+            return
+
+        # Zero-length blocks (pure structure) fall through without cost.
+        for core in running:
+            self._finish_block(core)
+        running = [core for core in running if core.status == RUNNING]
+        if not running:
+            return
+        self._assert_lockstep(running)
+
+        # Fetch phase: an I-miss on any core stalls the group.
+        missed = False
+        for core in running:
+            if core.needs_fetch():
+                extra = self.icaches[core.id].access(
+                    ICODE_BASE * (core.id + 1) + core.fetch_addr(),
+                    self.bus.l2,
+                    self.config.memory_latency,
+                )
+                core.mark_fetched()
+                if extra:
+                    core.stats.l1i_misses += 1
+                    core.block_until(self.cycle + 1 + extra, "istall")
+                    missed = True
+        if missed:
+            for core in running:
+                core.stats.stall("istall")
+            return
+
+        # Scoreboard phase: lock-step means one unready core stalls all.
+        for core in running:
+            op = core.current_op()
+            if op is not None and not core.srcs_ready(op, self.cycle):
+                for member in running:
+                    member.stats.stall("latency")
+                return
+
+        # Issue phase A: drive the direct wires.
+        for core in running:
+            op = core.current_op()
+            if op is not None and op.opcode in (Opcode.PUT, Opcode.BCAST):
+                self._execute(core, op)
+                core.stats.busy += 1
+                core.stats.ops_executed += 1
+
+        # Issue phase B: everything else (GETs read the wires driven above).
+        for core in running:
+            op = core.current_op()
+            if op is not None and op.opcode in (Opcode.PUT, Opcode.BCAST):
+                outcome = "ok"
+            elif op is None:
+                core.stats.busy += 1
+                outcome = "ok"
+            else:
+                outcome = self._execute(core, op)
+                core.stats.busy += 1
+                core.stats.ops_executed += 1
+                if outcome == "stall":
+                    raise SimulatorError(
+                        f"cycle {self.cycle}: {op!r} stalled in coupled mode "
+                        f"on core {core.id}; the compiler must not place "
+                        "queue-mode waits in coupled regions"
+                    )
+            if core.status != RUNNING:
+                continue
+            if outcome == "ok":
+                core.advance_slot()
+                self._finish_block(core)
+
+    def _assert_lockstep(self, running: List[Core]) -> None:
+        positions = {core.position() for core in running}
+        if len(positions) > 1:
+            raise SimulatorError(
+                f"cycle {self.cycle}: coupled cores diverged: "
+                + ", ".join(repr(core) for core in running)
+            )
+
+    # -- decoupled stepping --------------------------------------------------------
+
+    def _step_decoupled(self, core: Core) -> None:
+        if core.status == HALTED:
+            return
+        if core.status == BARRIER_WAIT:
+            cause = "call_sync" if core.id in self._barrier.get("call", set()) else (
+                "barrier"
+            )
+            core.stats.stall(cause)
+            return
+        if core.next_free > self.cycle:
+            core.stats.stall(core.pending_cause or "latency")
+            return
+        if core.status == LISTENING:
+            self._step_listening(core)
+            return
+
+        # Zero-length blocks (pure structure) fall through without cost.
+        self._finish_block(core)
+        if core.status != RUNNING:
+            return
+
+        # Fetch.
+        if core.needs_fetch():
+            extra = self.icaches[core.id].access(
+                ICODE_BASE * (core.id + 1) + core.fetch_addr(),
+                self.bus.l2,
+                self.config.memory_latency,
+            )
+            core.mark_fetched()
+            if extra:
+                core.stats.l1i_misses += 1
+                core.block_until(self.cycle + 1 + extra, "istall")
+                core.stats.stall("istall")
+                return
+
+        op = core.current_op()
+        if op is None:
+            core.stats.busy += 1
+            core.advance_slot()
+            self._finish_block(core)
+            return
+
+        if op.opcode is Opcode.CALL:
+            self._arrive_call_barrier(core, op)
+            return
+        if op.opcode is Opcode.TX_COMMIT and not self.tm.may_commit(core.id):
+            core.stats.stall("tx_wait")
+            return
+        if op.opcode in (Opcode.SEND, Opcode.SPAWN, Opcode.RELEASE):
+            target = op.attrs["target_core"]
+            if not self.network.can_send(core.id, target):
+                core.stats.stall("send")
+                self.network.send_stalls += 1
+                return
+        if not core.srcs_ready(op, self.cycle):
+            core.stats.stall("latency")
+            return
+
+        outcome = self._execute(core, op)
+        if outcome == "stall":
+            return  # stall already attributed (e.g. empty receive queue)
+        core.stats.busy += 1
+        core.stats.ops_executed += 1
+        if core.status == RUNNING and outcome == "ok":
+            core.advance_slot()
+            self._finish_block(core)
+
+    def _step_listening(self, core: Core) -> None:
+        message = self.network.peek_control(core.id, self.cycle)
+        if message is None:
+            core.stats.stall("idle")
+            return
+        core.stats.busy += 1
+        core.status = RUNNING
+        if message.kind == "spawn":
+            core.jump(message.value)
+        else:  # release: move past the LISTEN op
+            core.advance_slot()
+            self._finish_block(core)
+
+    def _arrive_call_barrier(self, core: Core, op: Operation) -> None:
+        """Decoupled-mode CALL: wait for every live core, then call in
+        lock-step (the paper's call/return synchronization)."""
+        arrived = self._barrier.setdefault("call", set())
+        arrived.add(core.id)
+        core.status = BARRIER_WAIT
+        core.stats.busy += 1  # the arrival cycle issues the (pending) call
+        live = {c.id for c in self._live_cores()}
+        if arrived >= live:
+            del self._barrier["call"]
+            callee_names = set()
+            for member_id in sorted(arrived):
+                member = self.cores[member_id]
+                self._deferred_release.add(member_id)
+                call_op = member.current_op()
+                assert call_op is not None and call_op.opcode is Opcode.CALL
+                callee_names.add(call_op.attrs["function"])
+                self._do_call(member, call_op)
+            if len(callee_names) != 1:
+                raise SimulatorError(
+                    f"cycle {self.cycle}: cores joined a call barrier for "
+                    f"different callees {sorted(callee_names)}"
+                )
+            self._mode_restore.append((self.cores[0].call_depth - 1, "decoupled"))
+            self._mode_next = "coupled"
+
+    # -- operation semantics ----------------------------------------------------------
+
+    def _execute(self, core: Core, op: Operation) -> str:
+        """Execute one op; returns 'ok', 'redirect', or 'stall'."""
+        opcode = op.opcode
+        cycle = self.cycle
+        read = core.read_operand
+        if self.op_observers:
+            for observer in self.op_observers:
+                observer(cycle, core.id, op)
+
+        if opcode in ALU_SEMANTICS:
+            result = ALU_SEMANTICS[opcode](*map(read, op.srcs))
+            core.write_reg(op.dest, result, cycle + latency_of(opcode))
+            return "ok"
+        if opcode in COMPARISONS:
+            result = bool(COMPARISONS[opcode](*map(read, op.srcs)))
+            core.write_reg(op.dest, result, cycle + latency_of(opcode))
+            return "ok"
+        if opcode in (Opcode.MOV, Opcode.FMOV, Opcode.PMOV):
+            core.write_reg(op.dest, read(op.srcs[0]), cycle + 1)
+            return "ok"
+        if opcode is Opcode.ITOF:
+            core.write_reg(op.dest, float(read(op.srcs[0])), cycle + latency_of(opcode))
+            return "ok"
+        if opcode is Opcode.FTOI:
+            core.write_reg(op.dest, int(read(op.srcs[0])), cycle + latency_of(opcode))
+            return "ok"
+        if opcode is Opcode.PAND:
+            core.write_reg(
+                op.dest, bool(read(op.srcs[0]) and read(op.srcs[1])), cycle + 1
+            )
+            return "ok"
+        if opcode is Opcode.POR:
+            core.write_reg(
+                op.dest, bool(read(op.srcs[0]) or read(op.srcs[1])), cycle + 1
+            )
+            return "ok"
+        if opcode is Opcode.PNOT:
+            core.write_reg(op.dest, not read(op.srcs[0]), cycle + 1)
+            return "ok"
+        if opcode is Opcode.SELECT:
+            pred, a, b = map(read, op.srcs)
+            core.write_reg(op.dest, a if pred else b, cycle + 1)
+            return "ok"
+        if opcode is Opcode.LOAD:
+            return self._do_load(core, op)
+        if opcode is Opcode.STORE:
+            return self._do_store(core, op)
+        if opcode is Opcode.PBR:
+            core.write_reg(op.dest, op.attrs["target"], cycle + 1)
+            return "ok"
+        if opcode is Opcode.BR:
+            taken = len(op.srcs) == 1 or bool(read(op.srcs[1]))
+            if taken:
+                core.jump(read(op.srcs[0]))
+            else:
+                if core.frame.block.fall is None:
+                    raise SimulatorError(
+                        f"core {core.id} fell through a branch with no fall "
+                        f"edge in {core.frame.block.label}"
+                    )
+                core.jump(core.frame.block.fall)
+            return "redirect"
+        if opcode is Opcode.CALL:
+            self._do_call(core, op)
+            return "redirect"
+        if opcode is Opcode.RET:
+            return self._do_ret(core, op)
+        if opcode is Opcode.HALT:
+            if self.tm.in_transaction(core.id):
+                raise SimulatorError(f"core {core.id} halted inside a transaction")
+            core.status = HALTED
+            return "redirect"
+        if opcode is Opcode.NOP:
+            return "ok"
+        if opcode is Opcode.PUT:
+            self.network.direct.put(
+                core.id, op.attrs["direction"], read(op.srcs[0]), cycle
+            )
+            return "ok"
+        if opcode is Opcode.BCAST:
+            self.network.direct.bcast(core.id, read(op.srcs[0]), cycle)
+            return "ok"
+        if opcode is Opcode.GET:
+            value = self.network.direct.get(
+                core.id,
+                op.attrs["direction"],
+                cycle,
+                bcast_src=op.attrs.get("bcast_src"),
+            )
+            core.write_reg(op.dest, value, cycle + 1)
+            return "ok"
+        if opcode is Opcode.SEND:
+            self.network.send(
+                core.id,
+                op.attrs["target_core"],
+                read(op.srcs[0]),
+                cycle,
+                tag=op.attrs.get("tag"),
+            )
+            core.stats.messages_sent += 1
+            return "ok"
+        if opcode is Opcode.RECV:
+            message = self.network.try_receive(
+                core.id,
+                op.attrs["source_core"],
+                cycle,
+                tag=op.attrs.get("tag"),
+            )
+            if message is None:
+                core.stats.stall(self._recv_category(op))
+                return "stall"
+            if op.dests:
+                core.write_reg(op.dest, message.value, cycle + 1)
+            core.stats.messages_received += 1
+            return "ok"
+        if opcode is Opcode.SPAWN:
+            self.network.send(
+                core.id,
+                op.attrs["target_core"],
+                op.attrs["target_block"],
+                cycle,
+                kind="spawn",
+            )
+            self.stats.spawns += 1
+            return "ok"
+        if opcode is Opcode.RELEASE:
+            self.network.send(
+                core.id, op.attrs["target_core"], None, cycle, kind="release"
+            )
+            return "ok"
+        if opcode is Opcode.SLEEP:
+            assert core.listen_return is not None, "SLEEP outside a spawned thread"
+            block, slot = core.listen_return
+            core.frame.block = block
+            core.frame.slot = slot
+            core._fetched = None
+            core.status = LISTENING
+            return "redirect"
+        if opcode is Opcode.LISTEN:
+            core.listen_return = (core.frame.block, core.frame.slot)
+            core.status = LISTENING
+            return "redirect"
+        if opcode is Opcode.MODE_SWITCH:
+            return self._do_mode_switch(core, op)
+        if opcode is Opcode.TX_BEGIN:
+            self.tm.begin(
+                core.id,
+                op.attrs["region"],
+                op.attrs["order"],
+                op.attrs.get("chunks", 0),
+            )
+            core.checkpoint_registers(op.attrs["restart"])
+            return "ok"
+        if opcode is Opcode.TX_COMMIT:
+            if self.tm.try_commit(core.id):
+                core.block_until(
+                    cycle + 1 + self.config.tm_commit_latency, "tx_wait"
+                )
+                core.tx_checkpoint = None
+                return "ok"
+            restart = core.rollback_registers()
+            core.jump(restart)
+            return "redirect"
+        raise SimulatorError(f"unimplemented opcode {opcode!r}")
+
+    @staticmethod
+    def _recv_category(op: Operation) -> str:
+        sync = op.attrs.get("sync")
+        if sync == "call":
+            return "call_sync"
+        if op.dests and op.dests[0].file is RegFile.PR:
+            return "recv_pred"
+        return "recv_data"
+
+    def _do_load(self, core: Core, op: Operation) -> str:
+        read = core.read_operand
+        addr = int(read(op.srcs[0])) + int(read(op.srcs[1]))
+        cycles, miss = self.bus.access(core.id, addr, is_store=False)
+        value = self.tm.load(core.id, addr)
+        core.write_reg(op.dest, value, self.cycle + 1 + cycles)
+        core.stats.loads += 1
+        if miss or cycles > self.config.l1d.hit_latency:
+            core.stats.l1d_misses += miss
+            core.block_until(self.cycle + 1 + cycles, "dstall")
+        return "ok"
+
+    def _do_store(self, core: Core, op: Operation) -> str:
+        read = core.read_operand
+        addr = int(read(op.srcs[0])) + int(read(op.srcs[1]))
+        cycles, miss = self.bus.access(core.id, addr, is_store=True)
+        self.tm.store(core.id, addr, read(op.srcs[2]))
+        core.stats.stores += 1
+        if miss or cycles > self.config.l1d.hit_latency:
+            core.stats.l1d_misses += miss
+            core.block_until(self.cycle + 1 + cycles, "dstall")
+        return "ok"
+
+    def _do_call(self, core: Core, op: Operation) -> None:
+        callee = self.compiled.core_function(core.id, op.attrs["function"])
+        # Copy arguments into the callee's formal registers on this core.
+        formals = self.compiled.program.function(op.attrs["function"]).params
+        values = [core.read_operand(src) for src in op.srcs]
+        core.frame.slot += 1  # resume after the call
+        core.push_frame(callee, return_dest=op.dest)
+        for reg, value in zip(formals, values):
+            core.write_reg(reg, value, self.cycle + 1)
+
+    def _do_ret(self, core: Core, op: Operation) -> str:
+        value = core.read_operand(op.srcs[0]) if op.srcs else None
+        finished = core.pop_frame()
+        if not core.stack:
+            core.status = HALTED
+            if core.id == 0:
+                self.return_value = value
+            return "redirect"
+        if finished.return_dest is not None and op.srcs:
+            core.write_reg(finished.return_dest, value, self.cycle + 1)
+        if (
+            self._mode_restore
+            and self._mode_restore[-1][0] == core.call_depth
+            and not self._restore_done_this_cycle
+        ):
+            _, mode = self._mode_restore.pop()
+            self._mode_next = mode
+            self._restore_done_this_cycle = True
+        self._finish_block(core)
+        return "redirect"
+
+    def _do_mode_switch(self, core: Core, op: Operation) -> str:
+        target = op.attrs["mode"]
+        if target == "decoupled":
+            self._mode_next = "decoupled"
+            return "ok"
+        if self.mode == "coupled":
+            return "ok"  # already coupled (e.g. program prologue)
+        # Decoupled -> coupled: barrier.  Advance past the switch first so
+        # the core resumes after it once the barrier completes.
+        core.advance_slot()
+        self._finish_block(core)
+        arrived = self._barrier.setdefault("mode", set())
+        arrived.add(core.id)
+        core.status = BARRIER_WAIT
+        live = {c.id for c in self._live_cores()}
+        if arrived >= live:
+            del self._barrier["mode"]
+            self._deferred_release.update(arrived)
+            self._mode_next = "coupled"
+        return "redirect"
+
+    def _finish_block(self, core: Core) -> None:
+        """Fall through block ends (possibly several empty blocks)."""
+        while core.status == RUNNING and core.at_block_end():
+            if not core.fall_through():
+                raise SimulatorError(
+                    f"core {core.id} ran off the end of block "
+                    f"{core.frame.block.label} in {core.frame.function.name}"
+                )

@@ -1,0 +1,237 @@
+"""The dual-mode scalar operand network (paper Section 3.1).
+
+Direct mode: each pair of adjacent cores shares two uni-directional wires.
+A ``PUT`` drives a wire during a cycle; the neighbouring core's ``GET``
+executed the same cycle latches the value (the compiler aligns the pair;
+misalignment is a compiler bug the simulator reports).  ``BCAST`` drives a
+one-cycle broadcast seen by every core in the coupled group -- the same
+single-cycle global-wire assumption the paper's 1-bit stall bus makes.
+
+Queue mode: ``SEND`` writes a message into the core's send queue (1 cycle);
+the router moves it one hop per cycle along the XY route; the receiver's
+``RECV`` matches on the sender id (the receive queue is a CAM) and spends
+one cycle reading it out -- 2 cycles + 1/hop end to end, as in the paper.
+``SPAWN`` and ``RELEASE`` ride the same network as control messages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..arch.config import NetworkConfig
+from ..arch.mesh import Mesh
+from ..isa.registers import Value
+
+
+class NetworkError(Exception):
+    """A protocol violation -- always indicates a compiler bug."""
+
+
+@dataclass
+class Message:
+    """A queue-mode message."""
+
+    src: int
+    dst: int
+    value: Value
+    kind: str = "data"  # 'data' | 'spawn' | 'release'
+    ready_cycle: int = 0  # cycle at which RECV may consume it
+    #: Optional channel tag: loop-carried value channels are primed with a
+    #: prologue message, so they must not share FIFO order with ordinary
+    #: transfers from the same sender (RAW-style static channels).
+    tag: object = None
+
+
+class DirectWires:
+    """Direct-mode wires: values driven for exactly one cycle."""
+
+    def __init__(self, mesh: Mesh) -> None:
+        self.mesh = mesh
+        # (core, direction) -> (value, cycle driven)
+        self._wires: Dict[Tuple[int, str], Tuple[Value, int]] = {}
+        # src core -> (value, cycle driven)
+        self._bcast: Dict[int, Tuple[Value, int]] = {}
+
+    def put(self, core: int, direction: str, value: Value, cycle: int) -> None:
+        self.mesh.neighbor(core, direction)  # validates the hop exists
+        self._wires[(core, direction)] = (value, cycle)
+
+    def get(
+        self,
+        core: int,
+        direction: str,
+        cycle: int,
+        bcast_src: Optional[int] = None,
+    ) -> Value:
+        """Read the wire driven *toward* ``core`` from ``direction``."""
+        if direction == "bcast":
+            if bcast_src is None:
+                fresh = [
+                    value
+                    for value, when in self._bcast.values()
+                    if when == cycle
+                ]
+                if len(fresh) != 1:
+                    raise NetworkError(
+                        f"core {core} GET bcast at cycle {cycle} found "
+                        f"{len(fresh)} broadcasts and no source id"
+                    )
+                return fresh[0]
+            entry = self._bcast.get(bcast_src)
+            if entry is None or entry[1] != cycle:
+                raise NetworkError(
+                    f"core {core} GET bcast at cycle {cycle} found no "
+                    f"broadcast from core {bcast_src}"
+                )
+            return entry[0]
+        driver = self.mesh.neighbor(core, direction)
+        from ..arch.mesh import opposite
+
+        entry = self._wires.get((driver, opposite(direction)))
+        if entry is None or entry[1] != cycle:
+            raise NetworkError(
+                f"core {core} GET {direction} at cycle {cycle} found no PUT "
+                f"from core {driver}"
+            )
+        return entry[0]
+
+    def bcast(self, core: int, value: Value, cycle: int) -> None:
+        self._bcast[core] = (value, cycle)
+
+    def read_bcast(self, core: int, cycle: int, src: Optional[int] = None) -> Value:
+        return self.get(core, "bcast", cycle, bcast_src=src)
+
+
+class OperandNetwork:
+    """Queue-mode transport plus the direct wires."""
+
+    def __init__(self, mesh: Mesh, config: NetworkConfig) -> None:
+        self.mesh = mesh
+        self.config = config
+        self.direct = DirectWires(mesh)
+        self.receive_queues: List[List[Message]] = [
+            [] for _ in range(mesh.n_cores)
+        ]
+        # Messages still travelling.
+        self._in_flight: List[Message] = []
+        # Credit-based flow control: a sender may have at most
+        # ``queue_depth`` messages outstanding (in flight or queued) toward
+        # one receiver; SEND stalls otherwise.  Per-pair credits keep a
+        # flooding sender from head-of-line-blocking another sender's
+        # messages out of the receive CAM.
+        self._outstanding: Dict[Tuple[int, int], int] = {}
+        self.messages_delivered = 0
+        self.send_stalls = 0
+        self.total_message_latency = 0
+
+    # -- queue mode -----------------------------------------------------------
+
+    def can_send(self, src: int, dst: int) -> bool:
+        return (
+            self._outstanding.get((src, dst), 0) < self.config.queue_depth
+        )
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        value: Value,
+        cycle: int,
+        kind: str = "data",
+        tag: object = None,
+    ) -> None:
+        """SEND executed at ``cycle``: enters the send queue this cycle,
+        routes one hop per cycle, then needs one read-out cycle."""
+        if src == dst and kind == "data":
+            raise NetworkError(f"core {src} sent a message to itself")
+        if not self.can_send(src, dst):
+            raise NetworkError(
+                f"core {src} sent to core {dst} without credit "
+                "(callers must check can_send and stall)"
+            )
+        self._outstanding[(src, dst)] = self._outstanding.get((src, dst), 0) + 1
+        hops = self.mesh.hops(src, dst)
+        arrival = (
+            cycle
+            + self.config.queue_entry_cycles
+            + hops * self.config.queue_cycles_per_hop
+        )
+        self._in_flight.append(
+            Message(
+                src=src,
+                dst=dst,
+                value=value,
+                kind=kind,
+                ready_cycle=arrival,
+                tag=tag,
+            )
+        )
+
+    def deliver(self, cycle: int) -> None:
+        """Move arrived messages into receive queues (per-pair credits bound
+        the queue population, so arrival is never refused)."""
+        if not self._in_flight:
+            return
+        still_flying: List[Message] = []
+        # Preserve per-(src,dst) FIFO order: in-flight list is append-ordered.
+        for message in self._in_flight:
+            if message.ready_cycle <= cycle:
+                self.receive_queues[message.dst].append(message)
+            else:
+                still_flying.append(message)
+        self._in_flight = still_flying
+
+    def try_receive(
+        self,
+        core: int,
+        src: int,
+        cycle: int,
+        kind: str = "data",
+        tag: object = None,
+    ) -> Optional[Message]:
+        """CAM lookup by sender id (and channel tag); consumes and returns
+        the oldest match."""
+        queue = self.receive_queues[core]
+        for i, message in enumerate(queue):
+            if message.kind != kind:
+                continue
+            if kind == "data" and (message.src != src or message.tag != tag):
+                continue
+            if message.ready_cycle > cycle:
+                continue
+            del queue[i]
+            self._release_credit(message)
+            self.messages_delivered += 1
+            self.total_message_latency += cycle - (
+                message.ready_cycle
+                - self.mesh.hops(message.src, message.dst)
+                - self.config.queue_entry_cycles
+            )
+            return message
+        return None
+
+    def peek_control(self, core: int, cycle: int) -> Optional[Message]:
+        """Oldest spawn/release message for a listening core."""
+        queue = self.receive_queues[core]
+        for i, message in enumerate(queue):
+            if message.kind in ("spawn", "release") and message.ready_cycle <= cycle:
+                del queue[i]
+                self._release_credit(message)
+                return message
+        return None
+
+    def _release_credit(self, message: Message) -> None:
+        key = (message.src, message.dst)
+        self._outstanding[key] = self._outstanding.get(key, 1) - 1
+
+    def pending_for(self, core: int) -> int:
+        return len(self.receive_queues[core]) + sum(
+            1 for message in self._in_flight if message.dst == core
+        )
+
+    def quiescent(self) -> bool:
+        return not self._in_flight and all(
+            not queue for queue in self.receive_queues
+        )

@@ -1,0 +1,110 @@
+"""Cycle accounting for the simulator.
+
+Stall categories follow the paper's Figure 12 breakdown:
+
+* ``istall`` -- instruction cache miss cycles,
+* ``dstall`` -- data cache miss cycles,
+* ``recv_data`` -- cycles stalled in RECV waiting for a data message,
+* ``recv_pred`` -- cycles stalled in RECV waiting for a branch predicate,
+* ``call_sync`` -- synchronization before function calls and returns,
+
+plus categories the paper folds into the text: ``barrier`` (MODE_SWITCH
+joins), ``tx_wait`` (ordered transaction commit), ``latency`` (scoreboard
+interlocks -- near zero with a correct static schedule), and ``idle``
+(a core listening with no fine-grain thread to run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+STALL_CATEGORIES = (
+    "istall",
+    "dstall",
+    "recv_data",
+    "recv_pred",
+    "call_sync",
+    "barrier",
+    "tx_wait",
+    "send",
+    "latency",
+    "idle",
+)
+
+
+@dataclass
+class CoreStats:
+    """Per-core cycle accounting."""
+
+    busy: int = 0  # cycles issuing an operation (including NOP padding)
+    stalls: Dict[str, int] = field(
+        default_factory=lambda: {category: 0 for category in STALL_CATEGORIES}
+    )
+    ops_executed: int = 0
+    loads: int = 0
+    stores: int = 0
+    l1d_misses: int = 0
+    l1i_misses: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+
+    def stall(self, category: str, cycles: int = 1) -> None:
+        self.stalls[category] += cycles
+
+    @property
+    def total_stalls(self) -> int:
+        return sum(self.stalls.values())
+
+
+@dataclass
+class MachineStats:
+    """Whole-machine statistics for one simulation."""
+
+    n_cores: int
+    cycles: int = 0
+    mode_cycles: Dict[str, int] = field(
+        default_factory=lambda: {"coupled": 0, "decoupled": 0}
+    )
+    cores: List[CoreStats] = field(default_factory=list)
+    tx_commits: int = 0
+    tx_aborts: int = 0
+    spawns: int = 0
+    mode_switches: int = 0
+    #: Cycles attributed to core 0's current (function, block label) --
+    #: used for the per-region accounting behind the Fig. 3 breakdown.
+    block_cycles: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            self.cores = [CoreStats() for _ in range(self.n_cores)]
+
+    def mean_stalls(self, category: str) -> float:
+        """Average stall cycles per core (the paper reports per-core means)."""
+        return sum(core.stalls[category] for core in self.cores) / self.n_cores
+
+    def mean_total_stalls(self) -> float:
+        return sum(core.total_stalls for core in self.cores) / self.n_cores
+
+    def total_ops(self) -> int:
+        return sum(core.ops_executed for core in self.cores)
+
+    def mode_fraction(self, mode: str) -> float:
+        total = sum(self.mode_cycles.values())
+        if total == 0:
+            return 0.0
+        return self.mode_cycles[mode] / total
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "ops": self.total_ops(),
+            "coupled_frac": self.mode_fraction("coupled"),
+            "decoupled_frac": self.mode_fraction("decoupled"),
+            "tx_commits": self.tx_commits,
+            "tx_aborts": self.tx_aborts,
+            **{
+                f"stall_{category}": self.mean_stalls(category)
+                for category in STALL_CATEGORIES
+            },
+        }

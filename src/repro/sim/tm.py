@@ -1,0 +1,159 @@
+"""Low-cost transactional memory for speculative DOALL loops.
+
+The paper (Section 3, citing Herlihy & Moss and the authors' technical
+report) divides a statistical-DOALL loop's iterations into chunks, one
+transaction per chunk, executed speculatively across cores.  The hardware
+detects cross-core memory dependence violations and rolls back memory
+state; the *compiler* rolls back register state.
+
+This model implements lazy versioning with **ordered commit**: chunk *k*
+may only commit after chunks *0..k-1* of the same speculative region, which
+preserves sequential semantics.  Validation intersects the chunk's read set
+with the write sets of logically-earlier chunks that committed after this
+chunk began; a non-empty intersection aborts the chunk, discards its write
+buffer, and the core re-executes from its compiler-recorded restart point
+with restored registers.  Ordered commit guarantees that a retry that
+begins after all earlier chunks commit succeeds, so progress is assured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..isa.registers import Value
+from .memory import MainMemory, WriteBuffer
+
+
+class TransactionError(Exception):
+    pass
+
+
+@dataclass
+class Transaction:
+    """One in-flight speculative chunk."""
+
+    core: int
+    region: int
+    order: int
+    n_chunks: int  # chunks per entry of this speculative region
+    begin_serial: int  # commit serial number when this transaction began
+    buffer: WriteBuffer = field(default_factory=WriteBuffer)
+
+
+@dataclass
+class _CommitRecord:
+    order: int
+    serial: int
+    write_set: Set[int]
+
+
+class TransactionalMemory:
+    """Machine-wide TM state: one active transaction per core."""
+
+    def __init__(self, memory: MainMemory) -> None:
+        self.memory = memory
+        self.active: Dict[int, Transaction] = {}
+        self._region: Optional[int] = None
+        self._next_commit_order = 0
+        self._commit_serial = 0
+        self._commits: List[_CommitRecord] = []
+        self.commits = 0
+        self.aborts = 0
+
+    # -- region management -----------------------------------------------------
+
+    def _enter_region(self, region: int) -> None:
+        if self._region != region:
+            if self.active:
+                raise TransactionError(
+                    f"region {region} begins while region {self._region} has "
+                    f"active transactions on cores {sorted(self.active)}"
+                )
+            self._region = region
+            self._next_commit_order = 0
+            self._commits.clear()
+
+    # -- transaction lifecycle ---------------------------------------------------
+
+    def begin(
+        self, core: int, region: int, order: int, n_chunks: int = 0
+    ) -> Transaction:
+        self._enter_region(region)
+        if core in self.active:
+            raise TransactionError(f"core {core} already has a transaction")
+        tx = Transaction(
+            core=core,
+            region=region,
+            order=order,
+            n_chunks=n_chunks or order + 1,
+            begin_serial=self._commit_serial,
+        )
+        self.active[core] = tx
+        return tx
+
+    def load(self, core: int, addr: int) -> Value:
+        tx = self.active.get(core)
+        if tx is None:
+            return self.memory.load(addr)
+        return tx.buffer.load(addr, self.memory)
+
+    def store(self, core: int, addr: int, value: Value) -> None:
+        tx = self.active.get(core)
+        if tx is None:
+            self.memory.store(addr, value)
+            return
+        tx.buffer.store(addr, value)
+
+    def in_transaction(self, core: int) -> bool:
+        return core in self.active
+
+    def may_commit(self, core: int) -> bool:
+        """Ordered commit: chunk k of each region entry waits for chunks
+        0..k-1 of that entry (the counter wraps per entry, so re-entering
+        the same speculative region -- an outer loop around a DOALL loop --
+        keeps working)."""
+        tx = self._tx(core)
+        return tx.order == self._next_commit_order % tx.n_chunks
+
+    def try_commit(self, core: int) -> bool:
+        """Validate and commit; returns False (and aborts) on conflict."""
+        tx = self._tx(core)
+        if tx.order != self._next_commit_order % tx.n_chunks:
+            raise TransactionError(
+                f"core {core} commits chunk {tx.order} out of order "
+                f"(expected {self._next_commit_order % tx.n_chunks})"
+            )
+        conflicting = any(
+            record.serial > tx.begin_serial
+            and tx.buffer.conflicts_with(record.write_set)
+            for record in self._commits
+        )
+        if conflicting:
+            self.abort(core)
+            return False
+        tx.buffer.publish(self.memory)
+        self._commit_serial += 1
+        self._commits.append(
+            _CommitRecord(
+                order=tx.order,
+                serial=self._commit_serial,
+                write_set=set(tx.buffer.write_set),
+            )
+        )
+        self._next_commit_order += 1
+        del self.active[core]
+        self.commits += 1
+        return True
+
+    def abort(self, core: int) -> None:
+        tx = self._tx(core)
+        tx.buffer.discard()
+        del self.active[core]
+        self.aborts += 1
+
+    def _tx(self, core: int) -> Transaction:
+        tx = self.active.get(core)
+        if tx is None:
+            raise TransactionError(f"core {core} has no active transaction")
+        return tx

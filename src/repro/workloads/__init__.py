@@ -1,0 +1,37 @@
+"""Synthetic workload suite calibrated to the paper's benchmarks."""
+
+from .kernels import (
+    KERNELS,
+    histogram_kernel,
+    stencil_kernel,
+    KernelContext,
+    call_kernel,
+    doall_kernel,
+    dswp_kernel,
+    ilp_kernel,
+    match_kernel,
+    reduction_kernel,
+    serial_kernel,
+    strand_kernel,
+)
+from .suite import BENCHMARKS, RECIPES, Benchmark, build, build_all
+
+__all__ = [
+    "KERNELS",
+    "KernelContext",
+    "call_kernel",
+    "doall_kernel",
+    "dswp_kernel",
+    "ilp_kernel",
+    "match_kernel",
+    "reduction_kernel",
+    "serial_kernel",
+    "strand_kernel",
+    "stencil_kernel",
+    "histogram_kernel",
+    "BENCHMARKS",
+    "RECIPES",
+    "Benchmark",
+    "build",
+    "build_all",
+]

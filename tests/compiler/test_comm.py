@@ -1,0 +1,111 @@
+"""Unit tests for communication op construction."""
+
+from repro.arch.mesh import Mesh
+from repro.compiler.comm import (
+    broadcast_group,
+    coupled_transfer,
+    decoupled_transfer,
+    memory_sync_pair,
+    recv_value,
+    send_value,
+)
+from repro.isa.operations import Opcode, Reg, RegFile
+from repro.isa.registers import RegisterAllocator
+
+R = lambda i: Reg(RegFile.GPR, i)
+P = lambda i: Reg(RegFile.PR, i)
+
+
+class TestCoupledTransfer:
+    def test_adjacent_single_hop(self):
+        mesh = Mesh(1, 2, 2)
+        ops = coupled_transfer(mesh, 0, [1], R(5))
+        assert [op.opcode for op in ops] == [Opcode.PUT, Opcode.GET]
+        put, get = ops
+        assert put.core == 0 and get.core == 1
+        assert put.attrs["align"] == get.attrs["align"]
+        assert put.attrs["direction"] == "east"
+        assert get.attrs["direction"] == "west"
+        assert get.dest == R(5)
+
+    def test_diagonal_two_hops_via_intermediate(self):
+        mesh = Mesh(2, 2, 4)
+        ops = coupled_transfer(mesh, 0, [3], R(5))
+        # Two PUT/GET pairs: 0 -> 1 -> 3 along the XY route.
+        assert [op.opcode for op in ops] == [
+            Opcode.PUT, Opcode.GET, Opcode.PUT, Opcode.GET,
+        ]
+        assert [op.core for op in ops] == [0, 1, 1, 3]
+        # Distinct align ids per hop.
+        assert ops[0].attrs["align"] != ops[2].attrs["align"]
+
+    def test_source_excluded_from_destinations(self):
+        mesh = Mesh(1, 2, 2)
+        assert coupled_transfer(mesh, 0, [0], R(1)) == []
+
+    def test_multiple_destinations_chain_each(self):
+        mesh = Mesh(2, 2, 4)
+        ops = coupled_transfer(mesh, 0, [1, 2], R(7))
+        get_cores = [op.core for op in ops if op.opcode is Opcode.GET]
+        assert set(get_cores) == {1, 2}
+
+    def test_predicates_use_broadcast(self):
+        mesh = Mesh(2, 2, 4)
+        ops = coupled_transfer(mesh, 1, [0, 2, 3], P(0))
+        assert ops[0].opcode is Opcode.BCAST
+        gets = ops[1:]
+        assert all(op.opcode is Opcode.GET for op in gets)
+        assert all(op.attrs["direction"] == "bcast" for op in gets)
+        assert all(op.attrs["bcast_src"] == 1 for op in gets)
+        align = ops[0].attrs["align"]
+        assert all(op.attrs["align"] == align for op in gets)
+
+
+class TestBroadcastGroup:
+    def test_excludes_source(self):
+        ops = broadcast_group(2, [0, 1, 2, 3], P(1))
+        gets = [op for op in ops if op.opcode is Opcode.GET]
+        assert {op.core for op in gets} == {0, 1, 3}
+
+
+class TestDecoupledTransfer:
+    def test_send_recv_pair(self):
+        ops = decoupled_transfer(0, [2], R(4))
+        send, recv = ops
+        assert send.opcode is Opcode.SEND and recv.opcode is Opcode.RECV
+        assert send.attrs["target_core"] == 2
+        assert recv.attrs["source_core"] == 0
+        assert recv.dest == R(4)
+
+    def test_all_marked_as_transfers(self):
+        for op in decoupled_transfer(0, [1, 2, 3], R(4)):
+            assert op.attrs["transfer"]
+
+    def test_sync_attr_propagates(self):
+        ops = decoupled_transfer(0, [1], R(4), sync="pred")
+        assert all(op.attrs["sync"] == "pred" for op in ops)
+
+
+class TestMemorySync:
+    def test_dummy_pair_shape(self):
+        regs = RegisterAllocator()
+        send, recv = memory_sync_pair(1, 3, regs)
+        assert send.attrs["sync"] == "mem" and recv.attrs["sync"] == "mem"
+        assert send.core == 1 and recv.core == 3
+        assert recv.dest is not None  # scratch register
+
+    def test_scratch_registers_are_fresh(self):
+        regs = RegisterAllocator()
+        _, recv1 = memory_sync_pair(0, 1, regs)
+        _, recv2 = memory_sync_pair(0, 1, regs)
+        assert recv1.dest != recv2.dest
+
+
+class TestTaggedChannels:
+    def test_send_recv_tags(self):
+        send = send_value(0, 1, R(2), tag="carried_r2")
+        recv = recv_value(1, 0, R(2), tag="carried_r2")
+        assert send.attrs["tag"] == recv.attrs["tag"] == "carried_r2"
+
+    def test_untagged_by_default(self):
+        assert "tag" not in send_value(0, 1, R(2)).attrs

@@ -1,0 +1,163 @@
+"""Unit tests for symbolic address resolution and memory dependences."""
+
+from repro.compiler.dependence import (
+    ConstantTracker,
+    SymbolicAddress,
+    analyze_block_addresses,
+    may_alias,
+    memory_dependences,
+)
+from repro.isa import ProgramBuilder
+from repro.isa.operations import Opcode
+
+
+def _block(build):
+    """Build a one-block main and return (program, ops)."""
+    pb = ProgramBuilder("t")
+    arrays = {
+        "a": pb.alloc("a", 16),
+        "b": pb.alloc("b", 16),
+    }
+    fb = pb.function("main")
+    fb.block("entry")
+    build(fb, arrays)
+    fb.halt()
+    program = pb.finish()
+    return program, program.main().block("entry").ops
+
+
+class TestConstantTracker:
+    def test_mov_and_fold(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        a = fb.mov(10)
+        b = fb.add(a, 5)
+        c = fb.mul(b, 2)
+        fb.halt()
+        tracker = ConstantTracker()
+        for op in pb.program.main().block("entry").ops:
+            tracker.observe(op)
+        assert tracker.value_of(a) == 10
+        assert tracker.value_of(b) == 15
+        assert tracker.value_of(c) == 30
+
+    def test_unknown_input_clears(self):
+        pb = ProgramBuilder("t")
+        arr = pb.alloc("a", 4)
+        fb = pb.function("main")
+        fb.block("entry")
+        v = fb.load(arr.base, 0)
+        w = fb.add(v, 1)
+        fb.halt()
+        tracker = ConstantTracker()
+        for op in pb.program.main().block("entry").ops:
+            tracker.observe(op)
+        assert tracker.value_of(v) is None
+        assert tracker.value_of(w) is None
+
+    def test_redefinition_invalidates(self):
+        pb = ProgramBuilder("t")
+        arr = pb.alloc("a", 4)
+        fb = pb.function("main")
+        fb.block("entry")
+        a = fb.mov(3)
+        fb.load(arr.base, 0, dest=a)  # clobbers the constant
+        fb.halt()
+        tracker = ConstantTracker()
+        for op in pb.program.main().block("entry").ops:
+            tracker.observe(op)
+        assert tracker.value_of(a) is None
+
+
+class TestAddressResolution:
+    def test_constant_address_fully_resolved(self):
+        program, ops = _block(
+            lambda fb, arrays: fb.load(arrays["a"].base, 3)
+        )
+        addresses = analyze_block_addresses(program, ops)
+        load = next(op for op in ops if op.opcode is Opcode.LOAD)
+        resolved = addresses[load.uid]
+        assert resolved.addr == program.array("a").base + 3
+        assert resolved.array == "a"
+
+    def test_register_index_resolves_array_only(self):
+        def build(fb, arrays):
+            idx = fb.load(arrays["b"].base, 0)  # unknown value
+            fb.load(arrays["a"].base, idx)
+
+        program, ops = _block(build)
+        addresses = analyze_block_addresses(program, ops)
+        second = [op for op in ops if op.opcode is Opcode.LOAD][1]
+        resolved = addresses[second.uid]
+        assert resolved.array == "a"
+        assert resolved.addr is None
+
+    def test_unknown_base_unresolved(self):
+        def build(fb, arrays):
+            p = fb.load(arrays["a"].base, 0)
+            fb.load(p, 0)
+
+        program, ops = _block(build)
+        addresses = analyze_block_addresses(program, ops)
+        second = [op for op in ops if op.opcode is Opcode.LOAD][1]
+        assert not addresses[second.uid].resolved
+
+
+class TestMayAlias:
+    def test_distinct_constants_disjoint(self):
+        assert not may_alias(
+            SymbolicAddress("a", 3), SymbolicAddress("a", 4)
+        )
+        assert may_alias(SymbolicAddress("a", 3), SymbolicAddress("a", 3))
+
+    def test_distinct_arrays_disjoint(self):
+        assert not may_alias(
+            SymbolicAddress("a", None), SymbolicAddress("b", None)
+        )
+
+    def test_unknown_conservative(self):
+        assert may_alias(SymbolicAddress(None, None), SymbolicAddress("a", 1))
+
+
+class TestMemoryDependences:
+    def test_load_load_never_ordered(self):
+        def build(fb, arrays):
+            fb.load(arrays["a"].base, 0)
+            fb.load(arrays["a"].base, 0)
+
+        program, ops = _block(build)
+        assert memory_dependences(program, ops) == []
+
+    def test_store_load_same_array_ordered(self):
+        def build(fb, arrays):
+            i = fb.load(arrays["b"].base, 0)
+            fb.store(arrays["a"].base, i, 1)
+            fb.load(arrays["a"].base, i)
+
+        program, ops = _block(build)
+        deps = memory_dependences(program, ops)
+        kinds = {(e.opcode, l.opcode) for e, l in deps}
+        assert (Opcode.STORE, Opcode.LOAD) in kinds
+
+    def test_different_arrays_independent(self):
+        def build(fb, arrays):
+            i = fb.load(arrays["b"].base, 1)
+            fb.store(arrays["a"].base, i, 1)
+            fb.load(arrays["b"].base, i)
+
+        program, ops = _block(build)
+        deps = memory_dependences(program, ops)
+        # store a[] vs load b[]: provably disjoint; the initial load of b
+        # precedes the store of a, also disjoint.
+        assert deps == []
+
+    def test_constant_offsets_disambiguate(self):
+        def build(fb, arrays):
+            fb.store(arrays["a"].base, 2, 1)
+            fb.load(arrays["a"].base, 3)
+            fb.load(arrays["a"].base, 2)
+
+        program, ops = _block(build)
+        deps = memory_dependences(program, ops)
+        assert len(deps) == 1  # only the exact-match pair

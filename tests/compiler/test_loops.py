@@ -1,0 +1,183 @@
+"""Unit tests for loop analysis: natural loops, induction, accumulators."""
+
+from repro.compiler.loops import (
+    dominators,
+    find_loops,
+    live_in_regs,
+    live_out_regs,
+    split_loop_latch,
+)
+from repro.isa import ProgramBuilder
+from repro.isa.operations import Imm, Opcode
+
+
+def _counted_program(start=0, bound=16, step=1):
+    pb = ProgramBuilder("t")
+    arr = pb.alloc("a", 32)
+    fb = pb.function("main")
+    fb.block("entry")
+    acc = fb.mov(0)
+    with fb.counted_loop("L", start, bound, step=step) as i:
+        v = fb.load(arr.base, i)
+        fb.add(acc, v, dest=acc)
+    fb.store(arr.base, 0, acc)
+    fb.halt()
+    return pb.finish(), acc
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        program, _ = _counted_program()
+        fn = program.main()
+        dom = dominators(fn)
+        for label in fn.block_order:
+            assert fn.entry in dom[label]
+
+    def test_loop_header_dominates_itself_only_among_loop(self):
+        program, _ = _counted_program()
+        dom = dominators(program.main())
+        assert "L" in dom["L"]
+
+
+class TestFindLoops:
+    def test_counted_loop_detected(self):
+        program, _ = _counted_program()
+        loops = find_loops(program.main())
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == "L"
+        assert loop.is_single_block
+        assert loop.preheader == "entry"
+        assert loop.exit is not None
+
+    def test_induction_variable(self):
+        program, _ = _counted_program(start=2, bound=20, step=3)
+        loop = find_loops(program.main())[0]
+        induction = loop.induction
+        assert induction is not None
+        assert induction.step == 3
+        assert induction.init == Imm(2)
+        assert induction.bound == Imm(20)
+        assert induction.compare is not None
+        assert induction.trip_count() == 6  # ceil((20-2)/3)
+
+    def test_down_loop_negative_step(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        with fb.counted_loop("L", 8, 0, down=True):
+            fb.mov(1)
+        fb.halt()
+        loop = find_loops(pb.finish().main())[0]
+        assert loop.induction is not None
+        assert loop.induction.step == -1
+
+    def test_dynamic_bound_has_no_static_trip(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main", n_params=1)
+        fb.block("entry")
+        (n,) = fb.function.params
+        with fb.counted_loop("L", 0, n):
+            fb.mov(1)
+        fb.halt()
+        loop = find_loops(pb.finish().main())[0]
+        assert loop.induction is not None
+        assert loop.induction.trip_count() is None
+
+    def test_accumulator_detected(self):
+        program, acc = _counted_program()
+        loop = find_loops(program.main())[0]
+        regs = [a.reg for a in loop.accumulators]
+        assert acc in regs
+
+    def test_accumulator_with_extra_use_rejected(self):
+        pb = ProgramBuilder("t")
+        arr = pb.alloc("a", 32)
+        fb = pb.function("main")
+        fb.block("entry")
+        acc = fb.mov(0)
+        with fb.counted_loop("L", 0, 8) as i:
+            fb.add(acc, i, dest=acc)
+            fb.store(arr.base, i, acc)  # acc escapes each iteration
+        fb.halt()
+        loop = find_loops(pb.finish().main())[0]
+        assert acc not in [a.reg for a in loop.accumulators]
+
+    def test_nested_loops_found(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        with fb.counted_loop("outer", 0, 3):
+            with fb.counted_loop("inner", 0, 4):
+                fb.mov(1)
+        fb.halt()
+        loops = find_loops(pb.finish().main())
+        headers = {loop.header for loop in loops}
+        assert headers == {"outer", "inner"}
+        outer = next(l for l in loops if l.header == "outer")
+        inner = next(l for l in loops if l.header == "inner")
+        assert "inner" in outer.blocks
+        assert not outer.is_single_block
+        assert inner.is_single_block
+
+    def test_non_loop_program_has_no_loops(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        fb.mov(1)
+        fb.halt()
+        assert find_loops(pb.finish().main()) == []
+
+
+class TestLiveness:
+    def test_live_out_includes_accumulator(self):
+        program, acc = _counted_program()
+        loop = find_loops(program.main())[0]
+        assert acc in live_out_regs(program.main(), loop)
+
+    def test_live_in_includes_upstream_values(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        scale = fb.mov(3)
+        with fb.counted_loop("L", 0, 8) as i:
+            fb.mul(i, scale)
+        fb.halt()
+        program = pb.finish()
+        loop = find_loops(program.main())[0]
+        assert scale in live_in_regs(program.main(), loop)
+
+
+class TestSplitLoopLatch:
+    def test_counted_loop_latch_replicated(self):
+        program, _ = _counted_program()
+        loop = find_loops(program.main())[0]
+        block = program.main().block("L")
+        body, latch, replicate = split_loop_latch(block, loop)
+        assert replicate
+        opcodes = [op.opcode for op in latch]
+        assert Opcode.ADD in opcodes  # induction update
+        assert Opcode.CMP_LT in opcodes
+        assert Opcode.PBR in opcodes and Opcode.BR in opcodes
+        assert all(op not in latch for op in body)
+        assert len(body) + len(latch) == len(block.ops)
+
+    def test_pointer_loop_latch_not_replicable(self):
+        pb = ProgramBuilder("t")
+        arr = pb.alloc("a", 32, init=[1] * 32)
+        fb = pb.function("main")
+        fb.block("entry")
+        p = fb.mov(arr.base)
+        fb.block("loop")
+        v = fb.load(p, 0)
+        fb.add(p, v, dest=p)
+        cond = fb.cmp_lt(p, arr.base + 8)
+        fb.branch_if(cond, "loop")
+        fb.block("done")
+        fb.halt()
+        program = pb.finish()
+        loop = find_loops(program.main())[0]
+        block = program.main().block("loop")
+        body, latch, replicate = split_loop_latch(block, loop)
+        assert not replicate
+        assert {op.opcode for op in latch} == {Opcode.PBR, Opcode.BR}

@@ -1,0 +1,233 @@
+"""Unit tests for BUG, eBUG, and DSWP partitioners."""
+
+import pytest
+
+from repro.arch.mesh import Mesh
+from repro.compiler.dfg import build_block_dfg, carried_register_edges
+from repro.compiler.loops import find_loops, split_loop_latch
+from repro.compiler.partition.bug import BugPartitioner
+from repro.compiler.partition.dswp import DswpPartitioner
+from repro.compiler.partition.ebug import EBugPartitioner
+from repro.compiler.profiling import profile_program
+from repro.isa import ProgramBuilder
+from repro.isa.operations import Opcode
+from repro.workloads.kernels import MISS_ARRAY
+
+
+def _wide_chains_body(chains=4, depth=3):
+    """Independent chains: ideal BUG input.  Returns (program, body ops)."""
+    pb = ProgramBuilder("t")
+    fb = pb.function("main")
+    fb.block("entry")
+    accs = [fb.mov(k + 1) for k in range(chains)]
+    with fb.counted_loop("L", 0, 8) as i:
+        for k in range(chains):
+            t = fb.mul(accs[k], 3)
+            for _ in range(depth - 1):
+                t = fb.add(t, 1)
+            fb.xor(t, i, dest=accs[k])
+    fb.halt()
+    program = pb.finish()
+    loop = find_loops(program.main())[0]
+    body, _latch, _rep = split_loop_latch(program.main().block("L"), loop)
+    return program, body
+
+
+class TestBug:
+    def test_independent_chains_spread(self):
+        program, body = _wide_chains_body(chains=4)
+        graph = build_block_dfg(
+            program, body, carried_regs=carried_register_edges(body)
+        )
+        result = BugPartitioner(Mesh(2, 2, 4)).partition(graph)
+        used = {result.assignment[op.uid] for op in body}
+        assert len(used) >= 2  # work spreads over multiple cores
+
+    def test_dependent_chain_stays_together(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        t = fb.mov(1)
+        for _ in range(6):
+            t = fb.add(t, 1)
+        fb.halt()
+        program = pb.finish()
+        ops = program.main().block("entry").ops[:7]
+        graph = build_block_dfg(program, ops)
+        result = BugPartitioner(Mesh(1, 2, 2)).partition(graph)
+        cores = {result.assignment[op.uid] for op in ops}
+        assert len(cores) == 1  # splitting a serial chain only adds latency
+
+    def test_every_op_assigned_in_range(self):
+        program, body = _wide_chains_body()
+        graph = build_block_dfg(program, body)
+        result = BugPartitioner(Mesh(2, 2, 4)).partition(graph)
+        for op in body:
+            assert 0 <= result.assignment[op.uid] < 4
+
+    def test_single_core_trivial(self):
+        program, body = _wide_chains_body()
+        graph = build_block_dfg(program, body)
+        result = BugPartitioner(Mesh(1, 1, 1)).partition(graph)
+        assert set(result.assignment.values()) == {0}
+
+
+class TestEBug:
+    def _missy_program(self):
+        pb = ProgramBuilder("t")
+        a = pb.alloc("a", MISS_ARRAY, init=[1] * MISS_ARRAY)
+        b = pb.alloc("b", MISS_ARRAY, init=[2] * MISS_ARRAY)
+        fb = pb.function("main")
+        fb.block("entry")
+        with fb.counted_loop("L", 0, 64) as i:
+            off = fb.mul(i, 8)
+            va = fb.load(a.base, off)
+            ca = fb.add(va, 1)
+            vb = fb.load(b.base, off)
+            cb = fb.add(vb, 2)
+            fb.xor(ca, cb)
+        fb.halt()
+        return pb.finish()
+
+    def test_missing_load_and_consumer_share_core(self):
+        program = self._missy_program()
+        profile = profile_program(program)
+        loop = find_loops(program.main())[0]
+        body, _l, _r = split_loop_latch(program.main().block("L"), loop)
+        carried = carried_register_edges(body, exclude={loop.induction.reg})
+        graph = build_block_dfg(program, body, carried_regs=carried)
+        partitioner = EBugPartitioner(Mesh(1, 2, 2), profile)
+        result = partitioner.partition(graph)
+        loads = [op for op in body if op.opcode is Opcode.LOAD]
+        for load in loads:
+            consumers = [
+                op for op in body if load.dest in op.src_regs()
+            ]
+            for consumer in consumers:
+                assert (
+                    result.assignment[load.uid]
+                    == result.assignment[consumer.uid]
+                )
+
+    def test_memory_spread_across_cores(self):
+        """Memory balancing: the two missing streams land on two cores so
+        their stalls can overlap (the paper's MLP argument)."""
+        program = self._missy_program()
+        profile = profile_program(program)
+        loop = find_loops(program.main())[0]
+        body, _l, _r = split_loop_latch(program.main().block("L"), loop)
+        carried = carried_register_edges(body, exclude={loop.induction.reg})
+        graph = build_block_dfg(program, body, carried_regs=carried)
+        result = EBugPartitioner(Mesh(1, 2, 2), profile).partition(graph)
+        loads = [op for op in body if op.opcode is Opcode.LOAD]
+        cores = {result.assignment[load.uid] for load in loads}
+        assert len(cores) == 2
+
+    def test_carried_group_constraint(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        acc = fb.mov(0)
+        with fb.counted_loop("L", 0, 8) as i:
+            t = fb.mul(acc, 3)
+            fb.add(t, i, dest=acc)
+        fb.halt()
+        program = pb.finish()
+        loop = find_loops(program.main())[0]
+        body, _l, _r = split_loop_latch(program.main().block("L"), loop)
+        carried = carried_register_edges(body, exclude={loop.induction.reg})
+        graph = build_block_dfg(program, body, carried_regs=carried)
+        result = EBugPartitioner(Mesh(1, 2, 2)).partition(graph)
+        recurrence = [
+            op for op in body if op.opcode in (Opcode.MUL, Opcode.ADD)
+        ]
+        assert len({result.assignment[op.uid] for op in recurrence}) == 1
+
+
+class TestDswp:
+    def _pipeline_body(self):
+        pb = ProgramBuilder("t")
+        links = pb.alloc("next", 64, init=[(i + 1) % 64 for i in range(64)])
+        vals = pb.alloc("vals", 64, init=[3] * 64)
+        out = pb.alloc("out", 64)
+        fb = pb.function("main")
+        fb.block("entry")
+        node = fb.mov(0)
+        with fb.counted_loop("L", 0, 32) as i:
+            v = fb.load(vals.base, node)
+            t = fb.mul(v, 3)
+            t = fb.add(t, 1)
+            t = fb.mul(t, 5)
+            t = fb.add(t, 7)
+            fb.store(out.base, i, t)
+            fb.load(links.base, node, dest=node)
+        fb.halt()
+        program = pb.finish()
+        loop = find_loops(program.main())[0]
+        body, _l, _r = split_loop_latch(program.main().block("L"), loop)
+        return program, body, loop
+
+    def test_pipeline_found(self):
+        program, body, loop = self._pipeline_body()
+        partition = DswpPartitioner(program, 2).partition(
+            body, replicated_regs={loop.induction.reg}
+        )
+        assert partition is not None
+        assert partition.n_stages == 2
+        assert partition.estimated_speedup > 1.0
+
+    def test_stage_edges_flow_forward(self):
+        """Intra-iteration dataflow must go from earlier to later stages."""
+        program, body, loop = self._pipeline_body()
+        partition = DswpPartitioner(program, 4).partition(
+            body, replicated_regs={loop.induction.reg}
+        )
+        by_uid = partition.stage_of
+        defs = {}
+        for op in body:
+            for reg in op.src_regs():
+                if reg in defs and defs[reg].uid in by_uid:
+                    assert by_uid[defs[reg].uid] <= by_uid[op.uid]
+            for reg in op.dests:
+                defs[reg] = op
+
+    def test_pointer_chase_is_single_scc(self):
+        program, body, loop = self._pipeline_body()
+        partition = DswpPartitioner(program, 4).partition(
+            body, replicated_regs={loop.induction.reg}
+        )
+        chase = next(
+            op
+            for op in body
+            if op.opcode is Opcode.LOAD and op.dest in op.src_regs()
+        )
+        # The self-recurrent load sits in the earliest stage.
+        assert partition.stage_of[chase.uid] == 0
+
+    def test_serial_body_rejected(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        acc = fb.mov(1)
+        with fb.counted_loop("L", 0, 8):
+            fb.mul(acc, 3, dest=acc)
+        fb.halt()
+        program = pb.finish()
+        loop = find_loops(program.main())[0]
+        body, _l, _r = split_loop_latch(program.main().block("L"), loop)
+        partition = DswpPartitioner(program, 4).partition(
+            body, replicated_regs={loop.induction.reg}
+        )
+        assert partition is None  # one SCC: no pipeline
+
+    def test_stage_weights_balanced(self):
+        program, body, loop = self._pipeline_body()
+        partition = DswpPartitioner(program, 2).partition(
+            body, replicated_regs={loop.induction.reg}
+        )
+        total = sum(partition.stage_weights)
+        assert max(partition.stage_weights) <= 0.8 * total
+
+    def test_empty_body(self):
+        program, _, _ = self._pipeline_body()
+        assert DswpPartitioner(program, 4).partition([]) is None

@@ -1,0 +1,148 @@
+"""Unit tests for the profiling interpreter."""
+
+from repro.compiler.profiling import Profiler, profile_program
+from repro.isa import ProgramBuilder
+from repro.isa.operations import Opcode
+from repro.workloads.kernels import MISS_ARRAY
+
+
+def _doall_program(trips=16):
+    pb = ProgramBuilder("t")
+    a = pb.alloc("a", max(trips, 32), init=range(max(trips, 32)))
+    out = pb.alloc("o", max(trips, 32))
+    fb = pb.function("main")
+    fb.block("entry")
+    with fb.counted_loop("L", 0, trips) as i:
+        v = fb.load(a.base, i)
+        fb.store(out.base, i, v)
+    fb.halt()
+    return pb.finish()
+
+
+def _carried_program(trips=16):
+    pb = ProgramBuilder("t")
+    a = pb.alloc("a", max(trips + 1, 32), init=[1] * max(trips + 1, 32))
+    fb = pb.function("main")
+    fb.block("entry")
+    with fb.counted_loop("L", 0, trips) as i:
+        v = fb.load(a.base, i)
+        nxt = fb.add(i, 1)
+        fb.store(a.base, nxt, v)  # writes what the next iteration reads
+    fb.halt()
+    return pb.finish()
+
+
+class TestLoopProfiles:
+    def test_doall_loop_observed_independent(self):
+        profile = profile_program(_doall_program())
+        loop = profile.loop_profile("main", "L")
+        assert loop is not None
+        assert loop.observed_doall
+        assert loop.average_trip_count == 16
+
+    def test_cross_iteration_conflict_observed(self):
+        profile = profile_program(_carried_program())
+        loop = profile.loop_profile("main", "L")
+        assert loop is not None
+        assert not loop.observed_doall
+        assert loop.cross_iteration_conflicts > 0
+
+    def test_same_iteration_reuse_is_not_a_conflict(self):
+        pb = ProgramBuilder("t")
+        a = pb.alloc("a", 32)
+        fb = pb.function("main")
+        fb.block("entry")
+        with fb.counted_loop("L", 0, 8) as i:
+            fb.store(a.base, i, i)
+            fb.load(a.base, i)  # same-iteration read after write
+        fb.halt()
+        profile = profile_program(pb.finish())
+        assert profile.loop_profile("main", "L").observed_doall
+
+    def test_loop_entries_counted_per_reentry(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        with fb.counted_loop("outer", 0, 3):
+            with fb.counted_loop("inner", 0, 4):
+                fb.mov(1)
+        fb.halt()
+        profile = profile_program(pb.finish())
+        inner = profile.loop_profile("main", "inner")
+        assert inner.entries == 3
+        assert inner.iterations == 12
+        assert inner.average_trip_count == 4
+
+    def test_conflicts_through_calls_attributed_to_caller_loop(self):
+        pb = ProgramBuilder("t")
+        a = pb.alloc("a", 32)
+        writer = pb.function("writer", n_params=1)
+        writer.block("w_entry")
+        (idx,) = writer.function.params
+        writer.store(a.base, idx, 1)
+        writer.ret(0)
+        fb = pb.function("main")
+        fb.block("entry")
+        with fb.counted_loop("L", 0, 8):
+            fb.call("writer", [0])  # every iteration writes a[0]
+        fb.halt()
+        profile = profile_program(pb.finish())
+        loop = profile.loop_profile("main", "L")
+        assert not loop.observed_doall
+
+
+class TestMissProfiles:
+    def test_streaming_large_array_misses(self):
+        pb = ProgramBuilder("t")
+        big = pb.alloc("big", MISS_ARRAY, init=[1] * MISS_ARRAY)
+        fb = pb.function("main")
+        fb.block("entry")
+        with fb.counted_loop("L", 0, 256) as i:
+            off = fb.mul(i, 8)  # one access per cache line
+            fb.load(big.base, off)
+        fb.halt()
+        program = pb.finish()
+        profile = profile_program(program)
+        load = next(
+            op
+            for op in program.main().block("L").ops
+            if op.opcode is Opcode.LOAD
+        )
+        assert profile.miss_rate(load) > 0.9
+        assert profile.likely_missing(load)
+
+    def test_resident_array_hits(self):
+        pb = ProgramBuilder("t")
+        small = pb.alloc("small", 32, init=[1] * 32)
+        fb = pb.function("main")
+        fb.block("entry")
+        with fb.counted_loop("warm", 0, 32) as i:
+            fb.load(small.base, i)
+        with fb.counted_loop("hot", 0, 32) as j:
+            fb.load(small.base, j)
+        fb.halt()
+        program = pb.finish()
+        profile = profile_program(program)
+        hot_load = next(
+            op
+            for op in program.main().block("hot").ops
+            if op.opcode is Opcode.LOAD
+        )
+        assert profile.miss_rate(hot_load) == 0.0
+
+    def test_miss_rate_of_unseen_op_is_zero(self):
+        program = _doall_program()
+        profile = profile_program(program)
+        from repro.isa.operations import make_op
+
+        ghost = make_op(Opcode.LOAD)
+        assert profile.miss_rate(ghost) == 0.0
+
+
+class TestExecutionCounts:
+    def test_block_counts_match_trips(self):
+        profile = profile_program(_doall_program(trips=10))
+        assert profile.block_count("main", "L") == 10
+
+    def test_dynamic_ops_positive(self):
+        assert profile_program(_doall_program()).dynamic_ops > 0

@@ -1,0 +1,149 @@
+"""Unit tests for region identification and the selection policy."""
+
+import pytest
+
+from repro.compiler.regions import (
+    MISS_FRACTION_THRESHOLD,
+    estimated_miss_fraction,
+    select_regions,
+)
+from repro.compiler.profiling import profile_program
+from repro.isa import ProgramBuilder
+from repro.workloads.kernels import (
+    KernelContext,
+    doall_kernel,
+    dswp_kernel,
+    ilp_kernel,
+    serial_kernel,
+    strand_kernel,
+)
+
+
+def _program_with(kernel, **kwargs):
+    pb = ProgramBuilder("t")
+    fb = pb.function("main")
+    fb.block("entry")
+    ctx = KernelContext(pb=pb, fb=fb, seed=3)
+    kernel(ctx, **kwargs)
+    fb.halt()
+    return pb.finish()
+
+
+def _regions(program, strategy, n_cores=4):
+    profile = profile_program(program)
+    return select_regions(
+        program, program.main(), profile, n_cores, strategy
+    )
+
+
+class TestPolicyOrdering:
+    def test_doall_loop_selected_as_llp_in_hybrid(self):
+        program = _program_with(doall_kernel, trips=64)
+        regions = _regions(program, "hybrid")
+        assert any(r.strategy == "doall" for r in regions)
+
+    def test_llp_strategy_keeps_only_doall(self):
+        program = _program_with(strand_kernel, trips=64)
+        regions = _regions(program, "llp")
+        assert all(r.strategy == "doall" for r in regions)
+
+    def test_ilp_strategy_selects_no_regions(self):
+        program = _program_with(doall_kernel, trips=64)
+        assert _regions(program, "ilp") == []
+
+    def test_baseline_selects_no_regions(self):
+        program = _program_with(doall_kernel, trips=64)
+        assert _regions(program, "baseline") == []
+
+    def test_tlp_never_selects_doall(self):
+        program = _program_with(doall_kernel, trips=64)
+        regions = _regions(program, "tlp")
+        assert all(r.strategy != "doall" for r in regions)
+        assert regions  # the loop still becomes a decoupled region
+
+    def test_pipeline_loop_selected_as_dswp(self):
+        program = _program_with(dswp_kernel, trips=64)
+        regions = _regions(program, "hybrid")
+        assert any(r.strategy == "dswp" for r in regions)
+
+    def test_miss_heavy_loop_selected_as_strand(self):
+        program = _program_with(strand_kernel, trips=64)
+        regions = _regions(program, "hybrid")
+        assert any(r.strategy in ("strand", "dswp") for r in regions)
+
+    def test_single_core_machine_selects_nothing(self):
+        program = _program_with(doall_kernel, trips=64)
+        assert _regions(program, "hybrid", n_cores=1) == []
+
+    def test_serial_recurrence_not_parallelized_in_hybrid(self):
+        program = _program_with(serial_kernel, trips=64)
+        regions = _regions(program, "hybrid")
+        assert all(r.strategy != "doall" and r.strategy != "dswp"
+                   for r in regions)
+
+
+class TestMissFraction:
+    def test_resident_block_low_fraction(self):
+        program = _program_with(ilp_kernel, trips=64)
+        profile = profile_program(program)
+        fn = program.main()
+        loop_block = next(
+            block for block in fn.ordered_blocks()
+            if block.attrs.get("loop_name")
+        )
+        assert (
+            estimated_miss_fraction(fn, loop_block, profile)
+            < MISS_FRACTION_THRESHOLD
+        )
+
+    def test_streaming_block_high_fraction(self):
+        program = _program_with(strand_kernel, trips=64)
+        profile = profile_program(program)
+        fn = program.main()
+        loop_block = next(
+            block for block in fn.ordered_blocks()
+            if block.attrs.get("loop_name")
+        )
+        assert (
+            estimated_miss_fraction(fn, loop_block, profile)
+            > MISS_FRACTION_THRESHOLD
+        )
+
+    def test_unexecuted_block_is_zero(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        fb.halt()
+        fb.block("dead")
+        fb.halt()
+        program = pb.finish()
+        profile = profile_program(program)
+        assert (
+            estimated_miss_fraction(
+                program.main(), program.main().block("dead"), profile
+            )
+            == 0.0
+        )
+
+
+class TestRegionShape:
+    def test_region_ids_unique(self):
+        program = _program_with(doall_kernel, trips=64)
+        regions = _regions(program, "hybrid")
+        ids = [r.rid for r in regions]
+        assert len(ids) == len(set(ids))
+
+    def test_loop_regions_reference_their_loop(self):
+        program = _program_with(doall_kernel, trips=64)
+        region = next(
+            r for r in _regions(program, "hybrid") if r.strategy == "doall"
+        )
+        assert region.loop is not None
+        assert region.block == region.loop.header
+        assert region.doall is not None
+
+    def test_invalid_strategy_rejected(self):
+        program = _program_with(doall_kernel, trips=64)
+        profile = profile_program(program)
+        with pytest.raises(ValueError):
+            select_regions(program, program.main(), profile, 4, "turbo")

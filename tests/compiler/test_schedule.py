@@ -1,0 +1,158 @@
+"""Unit tests for the coupled (joint) and decoupled schedulers."""
+
+import pytest
+
+from repro.compiler.schedule import (
+    fresh_align_id,
+    schedule_coupled,
+    schedule_decoupled,
+)
+from repro.isa import ProgramBuilder
+from repro.isa.operations import Imm, Opcode, Reg, RegFile, make_op
+
+R = lambda i: Reg(RegFile.GPR, i)
+B = lambda i: Reg(RegFile.BTR, i)
+
+
+def _program():
+    pb = ProgramBuilder("t")
+    pb.alloc("a", 16)
+    fb = pb.function("main")
+    fb.block("entry")
+    fb.halt()
+    return pb.finish()
+
+
+def mk(opcode, core, dests=None, srcs=None, **attrs):
+    op = make_op(opcode, dests, srcs, **attrs)
+    op.core = core
+    return op
+
+
+def slot_of(slots, op):
+    for core_slots in slots:
+        for index, placed in enumerate(core_slots):
+            if placed is op:
+                return index
+    raise AssertionError(f"{op!r} not scheduled")
+
+
+class TestCoupledScheduler:
+    def test_equal_lengths_across_cores(self):
+        program = _program()
+        ops = [
+            mk(Opcode.ADD, 0, [R(0)], [Imm(1), Imm(2)]),
+            mk(Opcode.ADD, 0, [R(1)], [R(0), Imm(1)]),
+            mk(Opcode.ADD, 1, [R(2)], [Imm(3), Imm(4)]),
+        ]
+        slots = schedule_coupled(program, ops, 2)
+        assert len(slots[0]) == len(slots[1])
+
+    def test_flow_latency_respected(self):
+        program = _program()
+        mul = mk(Opcode.MUL, 0, [R(0)], [Imm(2), Imm(3)])
+        add = mk(Opcode.ADD, 0, [R(1)], [R(0), Imm(1)])
+        slots = schedule_coupled(program, [mul, add], 1)
+        assert slot_of(slots, add) >= slot_of(slots, mul) + 3
+
+    def test_align_groups_co_issue(self):
+        program = _program()
+        align = fresh_align_id()
+        put = mk(Opcode.PUT, 0, [], [R(0)], direction="east", align=align)
+        get = mk(Opcode.GET, 1, [R(0)], [], direction="west", align=align)
+        producer = mk(Opcode.ADD, 0, [R(0)], [Imm(1), Imm(1)])
+        slots = schedule_coupled(program, [producer, put, get], 2)
+        assert slot_of(slots, put) == slot_of(slots, get)
+        assert slot_of(slots, put) >= slot_of(slots, producer) + 1
+
+    def test_terminator_last_and_aligned(self):
+        program = _program()
+        align = fresh_align_id()
+        work0 = mk(Opcode.ADD, 0, [R(0)], [Imm(1), Imm(2)])
+        work1 = mk(Opcode.MUL, 1, [R(1)], [Imm(3), Imm(4)])
+        br0 = mk(Opcode.BR, 0, [], [B(0)], align=align)
+        br1 = mk(Opcode.BR, 1, [], [B(0)], align=align)
+        pbr0 = mk(Opcode.PBR, 0, [B(0)], [], target="entry")
+        pbr1 = mk(Opcode.PBR, 1, [B(0)], [], target="entry")
+        ops = [work0, work1, pbr0, pbr1, br0, br1]
+        slots = schedule_coupled(program, ops, 2)
+        last = len(slots[0]) - 1
+        assert slots[0][last] is br0
+        assert slots[1][last] is br1
+        # Nothing is scheduled after the branch on either core.
+        for core_slots in slots:
+            for placed in core_slots[last + 1 :]:
+                assert placed is None
+
+    def test_single_issue_no_slot_collision(self):
+        program = _program()
+        ops = [mk(Opcode.ADD, 0, [R(k)], [Imm(k), Imm(1)]) for k in range(5)]
+        slots = schedule_coupled(program, ops, 2)
+        assert sum(1 for s in slots[0] if s is not None) == 5
+        assert all(s is None for s in slots[1])
+
+    def test_memory_order_spans_cores(self):
+        program = _program()
+        base = program.array("a").base
+        store = mk(Opcode.STORE, 0, [], [Imm(base), Imm(0), Imm(1)])
+        load = mk(Opcode.LOAD, 1, [R(0)], [Imm(base), Imm(0)])
+        slots = schedule_coupled(program, [store, load], 2)
+        assert slot_of(slots, load) > slot_of(slots, store)
+
+    def test_call_is_a_fence(self):
+        program = _program()
+        before = mk(Opcode.ADD, 0, [R(0)], [Imm(1), Imm(1)])
+        call = mk(Opcode.CALL, 0, [R(1)], [], function="main")
+        after = mk(Opcode.ADD, 0, [R(2)], [Imm(2), Imm(2)])
+        slots = schedule_coupled(program, [before, call, after], 1)
+        assert slot_of(slots, before) < slot_of(slots, call) < slot_of(
+            slots, after
+        )
+
+    def test_empty_block(self):
+        slots = schedule_coupled(_program(), [], 2)
+        assert slots == [[], []]
+
+
+class TestDecoupledScheduler:
+    def test_order_preserving_per_core(self):
+        """The decoupled scheduler must never reorder a core's ops -- the
+        queue protocol's FIFO matching depends on it."""
+        program = _program()
+        ops = [
+            mk(Opcode.SEND, 0, [], [Imm(1)], target_core=1),
+            mk(Opcode.ADD, 0, [R(0)], [Imm(1), Imm(2)]),
+            mk(Opcode.SEND, 0, [], [R(0)], target_core=1),
+            mk(Opcode.RECV, 1, [R(1)], [], source_core=0),
+            mk(Opcode.RECV, 1, [R(2)], [], source_core=0),
+        ]
+        slots = schedule_decoupled(program, ops, 2)
+        core0 = [op for op in slots[0] if op is not None]
+        core1 = [op for op in slots[1] if op is not None]
+        assert core0 == [ops[0], ops[1], ops[2]]
+        assert core1 == [ops[3], ops[4]]
+
+    def test_latency_gaps_inserted(self):
+        program = _program()
+        mul = mk(Opcode.MUL, 0, [R(0)], [Imm(2), Imm(3)])
+        add = mk(Opcode.ADD, 0, [R(1)], [R(0), Imm(1)])
+        slots = schedule_decoupled(program, [mul, add], 1)
+        assert slot_of(slots, add) == slot_of(slots, mul) + 3
+        assert slots[0][1] is None and slots[0][2] is None
+
+    def test_terminator_scheduled_last(self):
+        program = _program()
+        br = mk(Opcode.BR, 0, [], [B(0)])
+        pbr = mk(Opcode.PBR, 0, [B(0)], [], target="entry")
+        work = mk(Opcode.ADD, 0, [R(0)], [Imm(1), Imm(2)])
+        slots = schedule_decoupled(program, [pbr, work, br], 1)
+        non_empty = [op for op in slots[0] if op is not None]
+        assert non_empty[-1] is br
+
+    def test_core_lengths_independent(self):
+        program = _program()
+        ops = [mk(Opcode.ADD, 0, [R(k)], [Imm(k), Imm(1)]) for k in range(4)]
+        ops.append(mk(Opcode.ADD, 1, [R(9)], [Imm(1), Imm(1)]))
+        slots = schedule_decoupled(program, ops, 2)
+        assert len(slots[0]) == 4
+        assert len(slots[1]) == 1

@@ -1,0 +1,82 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.arch import MachineConfig, mesh, single_core
+from repro.compiler import VoltronCompiler, compile_program
+from repro.isa import ProgramBuilder, Program, run_program
+from repro.sim import VoltronMachine
+
+
+def build_square_sum(n: int = 16) -> Tuple[Program, str]:
+    """Canonical little program: out[i] = a[i]^2, out[0] = sum of squares."""
+    pb = ProgramBuilder("square_sum")
+    a = pb.alloc("a", n, init=range(n))
+    out = pb.alloc("out", n)
+    fb = pb.function("main")
+    fb.block("entry")
+    total = fb.mov(0)
+    with fb.counted_loop("L1", 0, n) as i:
+        v = fb.load(a.base, i)
+        sq = fb.mul(v, v)
+        fb.store(out.base, i, sq)
+        fb.add(total, sq, dest=total)
+    fb.store(out.base, 0, total)
+    fb.halt()
+    return pb.finish(), "out"
+
+
+def simulate(
+    program: Program,
+    n_cores: int,
+    strategy: str,
+    args: Tuple = (),
+    max_cycles: int = 3_000_000,
+) -> VoltronMachine:
+    compiled = compile_program(program, n_cores, strategy, profile_args=args)
+    config = single_core() if n_cores == 1 else mesh(n_cores)
+    machine = VoltronMachine(compiled, config, max_cycles=max_cycles, args=args)
+    machine.run()
+    return machine
+
+
+def assert_strategies_match_reference(
+    program: Program,
+    arrays: Sequence[str],
+    cores_strategies: Iterable[Tuple[int, str]] = (
+        (1, "baseline"),
+        (2, "ilp"),
+        (2, "tlp"),
+        (2, "llp"),
+        (2, "hybrid"),
+        (4, "ilp"),
+        (4, "tlp"),
+        (4, "llp"),
+        (4, "hybrid"),
+    ),
+    args: Tuple = (),
+) -> Dict[Tuple[int, str], int]:
+    """Simulate under every (cores, strategy) pair and compare each output
+    array against the reference interpreter.  Returns cycle counts."""
+    reference = run_program(program, args)
+    expected = {name: reference.array_values(program, name) for name in arrays}
+    cycles = {}
+    for n_cores, strategy in cores_strategies:
+        machine = simulate(program, n_cores, strategy, args=args)
+        for name, values in expected.items():
+            got = machine.array_values(name)
+            assert got == values, (
+                f"{n_cores}-core {strategy}: array {name} mismatch: "
+                f"{got[:8]} != {values[:8]}"
+            )
+        cycles[(n_cores, strategy)] = machine.stats.cycles
+    return cycles
+
+
+@pytest.fixture
+def square_sum():
+    return build_square_sum()

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--benchmark", "nope"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "--benchmark", "gsmdecode"])
+        assert args.cores == 4
+        assert args.strategy == "hybrid"
+
+
+class TestCommands:
+    def test_list(self):
+        code, text = run_cli(["list"])
+        assert code == 0
+        assert "gsmdecode" in text and "179.art" in text
+        assert len(text.strip().splitlines()) == 25
+
+    def test_run_single_benchmark(self):
+        code, text = run_cli(
+            ["run", "--benchmark", "rawcaudio", "--cores", "2",
+             "--strategy", "ilp", "--stalls"]
+        )
+        assert code == 0
+        assert "speedup" in text
+        assert "correct" in text
+
+    def test_run_single_core_is_baseline(self):
+        code, text = run_cli(
+            ["run", "--benchmark", "rawcaudio", "--cores", "1"]
+        )
+        assert code == 0
+        assert "strategy baseline" in text
+        assert "speedup 1.00x" in text
+
+    def test_figure_10_subset(self):
+        code, text = run_cli(
+            ["figure", "--figure", "10", "--benchmarks", "rawcaudio",
+             "gsmdecode"]
+        )
+        assert code == 0
+        assert "Figure 10" in text
+        assert "rawcaudio" in text and "gsmdecode" in text
+
+    def test_figure_14_subset(self):
+        code, text = run_cli(
+            ["figure", "--figure", "14", "--benchmarks", "rawcaudio"]
+        )
+        assert code == 0
+        assert "coupled" in text and "%" in text

@@ -1,0 +1,75 @@
+"""Tests for the execution tracer."""
+
+from repro.arch import two_core
+from repro.compiler import compile_program
+from repro.harness.trace import Tracer
+from repro.isa import ProgramBuilder
+from repro.isa.operations import Opcode
+from repro.sim import VoltronMachine
+
+
+def _machine():
+    from repro.workloads.kernels import KernelContext, ilp_kernel
+
+    pb = ProgramBuilder("t")
+    fb = pb.function("main")
+    fb.block("entry")
+    ctx = KernelContext(pb=pb, fb=fb, seed=1)
+    ilp_kernel(ctx, trips=16, chains=4)
+    fb.halt()
+    compiled = compile_program(pb.finish(), 2, "ilp")
+    return VoltronMachine(compiled, two_core())
+
+
+class TestTracer:
+    def test_events_collected_in_cycle_order(self):
+        machine = _machine()
+        tracer = Tracer.attach(machine)
+        machine.run()
+        cycles = [event.cycle for event in tracer.events]
+        assert cycles == sorted(cycles)
+        assert tracer.cycles_spanned() > 0
+
+    def test_events_cover_both_cores(self):
+        machine = _machine()
+        tracer = Tracer.attach(machine)
+        machine.run()
+        assert tracer.events_for(0)
+        assert tracer.events_for(1)
+
+    def test_histogram_counts_comm_ops(self):
+        machine = _machine()
+        tracer = Tracer.attach(machine)
+        machine.run()
+        histogram = tracer.opcode_histogram()
+        assert histogram.get(Opcode.PUT, 0) > 0
+        assert histogram[Opcode.HALT] == 2
+
+    def test_limit_truncates(self):
+        machine = _machine()
+        tracer = Tracer.attach(machine, limit=10)
+        machine.run()
+        assert len(tracer.events) == 10
+        assert tracer.truncated
+        assert "truncated" in tracer.render()
+
+    def test_render_grid_shape(self):
+        machine = _machine()
+        tracer = Tracer.attach(machine)
+        machine.run()
+        first = tracer.events[0].cycle
+        text = tracer.render(start=first, end=first + 40)
+        lines = text.splitlines()
+        assert lines[0] == f"cycles {first}..{first + 39}"
+        core_rows = [l for l in lines if l.startswith("core")]
+        assert len(core_rows) == 2
+        # Each row: "coreN " + 2 chars per cycle.
+        assert all(len(row) <= 6 + 2 * 40 for row in core_rows)
+        assert "legend:" in text
+
+    def test_render_empty_window(self):
+        machine = _machine()
+        tracer = Tracer.attach(machine)
+        machine.run()
+        text = tracer.render(start=10**9, width=10)
+        assert "core0" in text  # renders blanks, no crash

@@ -1,0 +1,155 @@
+"""End-to-end correctness: every strategy on every core count must produce
+the reference interpreter's results.  These are the tests that give the
+compiler licence to be aggressive everywhere else."""
+
+import pytest
+
+from repro.isa import ProgramBuilder, run_program
+from repro.workloads.kernels import (
+    KERNELS,
+    KernelContext,
+)
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from conftest import assert_strategies_match_reference  # noqa: E402
+
+
+def kernel_program(kernel_name, **kwargs):
+    pb = ProgramBuilder(f"prog_{kernel_name}")
+    fb = pb.function("main")
+    fb.block("entry")
+    ctx = KernelContext(pb=pb, fb=fb, seed=11)
+    out = KERNELS[kernel_name](ctx, **kwargs)
+    fb.halt()
+    return pb.finish(), [out]
+
+
+@pytest.mark.parametrize("kernel_name,kwargs", [
+    ("ilp", {"trips": 48, "chains": 4}),
+    ("doall", {"trips": 64}),
+    ("reduction", {"trips": 64}),
+    ("match", {"length": 96}),
+    ("strand", {"trips": 32}),
+    ("dswp", {"trips": 48}),
+    ("serial", {"trips": 32}),
+    ("call", {"trips": 16}),
+    ("stencil", {"trips": 48}),
+    ("histogram", {"trips": 48, "bins": 16}),
+])
+def test_kernel_correct_under_all_strategies(kernel_name, kwargs):
+    program, outputs = kernel_program(kernel_name, **kwargs)
+    assert_strategies_match_reference(program, outputs)
+
+
+def test_mixed_program_correct():
+    """Several kernels in sequence, sharing live state through memory."""
+    pb = ProgramBuilder("mixed")
+    fb = pb.function("main")
+    fb.block("entry")
+    ctx = KernelContext(pb=pb, fb=fb, seed=5)
+    outs = [
+        KERNELS["doall"](ctx, trips=48),
+        KERNELS["ilp"](ctx, trips=32),
+        KERNELS["strand"](ctx, trips=24),
+        KERNELS["serial"](ctx, trips=16),
+    ]
+    fb.halt()
+    program = pb.finish()
+    assert_strategies_match_reference(program, outs)
+
+
+def test_value_flows_between_regions():
+    """A value computed in one region is consumed by the next region: the
+    def-site broadcast / live-out machinery must route it."""
+    pb = ProgramBuilder("flow")
+    n = 32
+    a = pb.alloc("a", n, init=range(1, n + 1))
+    out = pb.alloc("out", n)
+    fb = pb.function("main")
+    fb.block("entry")
+    # Region 1: reduction producing a scalar.
+    acc = fb.mov(0)
+    with fb.counted_loop("L1", 0, n) as i:
+        fb.add(acc, fb.load(a.base, i), dest=acc)
+    # Region 2: elementwise using the reduction result as a live-in.
+    with fb.counted_loop("L2", 0, n) as j:
+        v = fb.load(a.base, j)
+        fb.store(out.base, j, fb.add(v, acc))
+    fb.halt()
+    program = pb.finish()
+    expected_sum = n * (n + 1) // 2
+    reference = run_program(program)
+    assert reference.array_values(program, "out")[0] == 1 + expected_sum
+    assert_strategies_match_reference(program, ["out"])
+
+
+def test_branchy_control_flow():
+    """Diamond control flow inside coupled code with per-path stores."""
+    pb = ProgramBuilder("branchy")
+    a = pb.alloc("a", 16, init=[3, 8, 1, 9, 4, 7, 2, 6, 5, 0, 11, 13, 12, 10, 15, 14])
+    out = pb.alloc("out", 16)
+    fb = pb.function("main")
+    fb.block("entry")
+    with fb.counted_loop("L", 0, 16) as i:
+        v = fb.load(a.base, i)
+        p = fb.cmp_ge(v, 8)
+        big = fb.mul(v, 100)
+        small = fb.add(v, 1000)
+        picked = fb.select(p, big, small)
+        fb.store(out.base, i, picked)
+    fb.halt()
+    assert_strategies_match_reference(pb.finish(), ["out"])
+
+
+def test_two_doall_loops_back_to_back():
+    """Consecutive speculative regions must not confuse the TM ordering."""
+    pb = ProgramBuilder("twodoall")
+    n = 40
+    a = pb.alloc("a", n, init=range(n))
+    b = pb.alloc("b", n)
+    c = pb.alloc("c", n)
+    fb = pb.function("main")
+    fb.block("entry")
+    with fb.counted_loop("L1", 0, n) as i:
+        fb.store(b.base, i, fb.mul(fb.load(a.base, i), 2))
+    with fb.counted_loop("L2", 0, n) as j:
+        fb.store(c.base, j, fb.add(fb.load(b.base, j), 5))
+    fb.halt()
+    assert_strategies_match_reference(pb.finish(), ["b", "c"])
+
+
+def test_doall_inside_outer_loop_reenters_tm_region():
+    """An outer loop around a DOALL region: the TM's ordered commit wraps
+    per entry and the spawn/listen protocol repeats cleanly."""
+    pb = ProgramBuilder("nested")
+    n = 24
+    a = pb.alloc("a", n, init=[1] * n)
+    fb = pb.function("main")
+    fb.block("entry")
+    with fb.counted_loop("outer", 0, 3):
+        with fb.counted_loop("inner", 0, n) as i:
+            v = fb.load(a.base, i)
+            fb.store(a.base, i, fb.add(v, 1))
+    fb.halt()
+    program = pb.finish()
+    reference = run_program(program)
+    assert reference.array_values(program, "a") == [4] * n
+    assert_strategies_match_reference(program, ["a"])
+
+
+def test_return_value_from_main():
+    from conftest import simulate
+
+    pb = ProgramBuilder("retval")
+    fb = pb.function("main")
+    fb.block("entry")
+    acc = fb.mov(0)
+    with fb.counted_loop("L", 0, 10) as i:
+        fb.add(acc, i, dest=acc)
+    fb.ret(acc)
+    program = pb.finish()
+    machine = simulate(program, 4, "hybrid")
+    assert machine.return_value == 45

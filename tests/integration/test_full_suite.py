@@ -1,0 +1,48 @@
+"""Whole-suite end-to-end check: every one of the 25 benchmarks compiles
+for the paper's machines and produces interpreter-identical results.
+
+The harness raises on any functional divergence, so simply running each
+benchmark once under the hybrid compiler is a strong regression net over
+the entire stack (profiling, selection, four partitioners, two
+schedulers, communication insertion, and the cycle-level machine)."""
+
+import pytest
+
+from repro.harness import ExperimentRunner
+from repro.workloads.suite import BENCHMARKS
+
+_runner = ExperimentRunner(max_cycles=20_000_000)
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_benchmark_hybrid_four_core_correct(name):
+    result = _runner.run(name, 4, "hybrid")
+    assert result.correct
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("name", ["gsmdecode", "179.art", "epic", "175.vpr"])
+def test_benchmark_all_strategies_two_core(name):
+    for strategy in ("ilp", "tlp", "llp", "hybrid"):
+        result = _runner.run(name, 2, strategy)
+        assert result.correct
+
+
+def test_suite_hybrid_speedups_are_sane():
+    """No benchmark should be catastrophically hurt by hybrid compilation
+    (paper minimum: 1.15x on 4 cores; we allow a small margin)."""
+    for name in BENCHMARKS:
+        speedup = _runner.speedup(name, 4, "hybrid")
+        assert speedup > 0.9, f"{name}: hybrid speedup {speedup:.2f}"
+
+
+def test_hybrid_uses_both_modes_across_the_suite():
+    coupled_heavy = decoupled_heavy = 0
+    for name in BENCHMARKS:
+        stats = _runner.run(name, 4, "hybrid").stats
+        if stats.mode_fraction("coupled") > 0.5:
+            coupled_heavy += 1
+        else:
+            decoupled_heavy += 1
+    assert coupled_heavy >= 3
+    assert decoupled_heavy >= 3

@@ -1,0 +1,193 @@
+"""Unit tests for the fluent IR builder."""
+
+import pytest
+
+from repro.isa import ProgramBuilder, run_program
+from repro.isa.builder import as_operand
+from repro.isa.operations import Imm, Opcode, Reg, RegFile
+
+
+class TestAsOperand:
+    def test_wraps_numbers(self):
+        assert as_operand(3) == Imm(3)
+        assert as_operand(2.5) == Imm(2.5)
+
+    def test_bool_becomes_int_imm(self):
+        assert as_operand(True) == Imm(1)
+
+    def test_passes_registers_through(self):
+        r = Reg(RegFile.GPR, 0)
+        assert as_operand(r) is r
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_operand("L1")
+
+
+class TestStraightLine:
+    def test_arith_chain_runs(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        a = fb.mov(6)
+        b = fb.mul(a, 7)
+        fb.ret(b)
+        result = run_program(pb.finish())
+        assert result.return_value == 42
+
+    def test_dest_reuse(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        acc = fb.mov(1)
+        fb.add(acc, 10, dest=acc)
+        fb.add(acc, 100, dest=acc)
+        fb.ret(acc)
+        assert run_program(pb.finish()).return_value == 111
+
+    def test_float_ops_allocate_fprs(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        x = fb.fmov(1.5)
+        assert x.file is RegFile.FPR
+        y = fb.fmul(x, 2.0)
+        assert y.file is RegFile.FPR
+        fb.ret(y)
+        assert run_program(pb.finish()).return_value == 3.0
+
+    def test_compare_allocates_pr(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        p = fb.cmp_lt(1, 2)
+        assert p.file is RegFile.PR
+        v = fb.select(p, 10, 20)
+        fb.ret(v)
+        assert run_program(pb.finish()).return_value == 10
+
+    def test_conversions(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        f = fb.itof(7)
+        i = fb.ftoi(fb.fdiv(f, 2.0))
+        fb.ret(i)
+        assert run_program(pb.finish()).return_value == 3
+
+
+class TestControlFlow:
+    def test_branch_if_sets_edges(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        entry = fb.block("entry")
+        p = fb.cmp_lt(1, 2)
+        fb.branch_if(p, "then")
+        fall = fb.block("else")
+        fb.ret(0)
+        fb.block("then")
+        fb.ret(1)
+        assert entry.taken == "then"
+        assert entry.fall == "else"
+        assert run_program(pb.finish()).return_value == 1
+
+    def test_jump_has_no_fall(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        entry = fb.block("entry")
+        fb.jump("end")
+        fb.block("skipped")
+        fb.ret(0)
+        fb.block("end")
+        fb.ret(9)
+        assert entry.fall is None
+        assert run_program(pb.finish()).return_value == 9
+
+    def test_counted_loop_shape(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        acc = fb.mov(0)
+        with fb.counted_loop("L", 0, 5) as i:
+            fb.add(acc, i, dest=acc)
+        fb.ret(acc)
+        program = pb.finish()
+        body = program.main().block("L")
+        assert body.taken == "L"
+        assert body.fall is not None
+        assert body.attrs["loop_step"] == 1
+        assert run_program(program).return_value == 0 + 1 + 2 + 3 + 4
+
+    def test_counted_loop_down(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        acc = fb.mov(0)
+        with fb.counted_loop("L", 5, 0, down=True) as i:
+            fb.add(acc, i, dest=acc)
+        fb.ret(acc)
+        assert run_program(pb.finish()).return_value == 5 + 4 + 3 + 2 + 1
+
+    def test_counted_loop_step(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        acc = fb.mov(0)
+        with fb.counted_loop("L", 0, 10, step=3) as i:
+            fb.add(acc, i, dest=acc)
+        fb.ret(acc)
+        assert run_program(pb.finish()).return_value == 0 + 3 + 6 + 9
+
+    def test_nested_loops(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        acc = fb.mov(0)
+        with fb.counted_loop("outer", 0, 3):
+            with fb.counted_loop("inner", 0, 4):
+                fb.add(acc, 1, dest=acc)
+        fb.ret(acc)
+        assert run_program(pb.finish()).return_value == 12
+
+    def test_counted_loop_is_do_while(self):
+        # The canonical loop tests the condition at the latch: the body runs
+        # at least once even when start >= bound.
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        acc = fb.mov(0)
+        with fb.counted_loop("L", 5, 5):
+            fb.add(acc, 1, dest=acc)
+        fb.ret(acc)
+        assert run_program(pb.finish()).return_value == 1
+
+
+class TestCalls:
+    def test_call_and_return_value(self):
+        pb = ProgramBuilder("t")
+        helper = pb.function("double", n_params=1)
+        helper.block("h_entry")
+        (x,) = helper.function.params
+        helper.ret(helper.mul(x, 2))
+        fb = pb.function("main")
+        fb.block("entry")
+        fb.ret(fb.call("double", [21]))
+        assert run_program(pb.finish()).return_value == 42
+
+    def test_params_do_not_collide_across_functions(self):
+        pb = ProgramBuilder("t")
+        f = pb.function("main")
+        g = pb.function("g", n_params=2)
+        all_regs = set(f.function.params) | set(g.function.params)
+        # main has no params; g has two distinct ones
+        assert len(g.function.params) == 2
+        assert len(set(g.function.params)) == 2
+
+    def test_finish_validates(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        fb.call("nonexistent", [])
+        fb.halt()
+        with pytest.raises(ValueError):
+            pb.finish()

@@ -1,0 +1,129 @@
+"""Table-driven semantic matrix: every computational opcode's behaviour
+through the interpreter (the machine shares the same semantic tables, so
+the differential tests extend this coverage to the simulator)."""
+
+import pytest
+
+from repro.isa import ProgramBuilder, run_program
+
+
+def _eval_binary(method, a, b):
+    pb = ProgramBuilder("t")
+    fb = pb.function("main")
+    fb.block("entry")
+    fb.ret(getattr(fb, method)(a, b))
+    return run_program(pb.finish()).return_value
+
+
+def _eval_unary(method, a):
+    pb = ProgramBuilder("t")
+    fb = pb.function("main")
+    fb.block("entry")
+    fb.ret(getattr(fb, method)(a))
+    return run_program(pb.finish()).return_value
+
+
+INT_CASES = [
+    ("add", 7, 5, 12),
+    ("add", -3, 3, 0),
+    ("sub", 7, 5, 2),
+    ("sub", 5, 7, -2),
+    ("mul", 6, 7, 42),
+    ("mul", -4, 3, -12),
+    ("div", 17, 5, 3),
+    ("div", -17, 5, -3),
+    ("rem", 17, 5, 2),
+    ("rem", -17, 5, -2),
+    ("and_", 0b1100, 0b1010, 0b1000),
+    ("or_", 0b1100, 0b1010, 0b1110),
+    ("xor", 0b1100, 0b1010, 0b0110),
+    ("shl", 3, 4, 48),
+    ("shr", 48, 4, 3),
+]
+
+FLOAT_CASES = [
+    ("fadd", 1.5, 2.25, 3.75),
+    ("fsub", 1.5, 2.25, -0.75),
+    ("fmul", 1.5, 2.0, 3.0),
+    ("fdiv", 7.0, 2.0, 3.5),
+]
+
+COMPARE_CASES = [
+    ("cmp_eq", 3, 3, True),
+    ("cmp_eq", 3, 4, False),
+    ("cmp_ne", 3, 4, True),
+    ("cmp_lt", 3, 4, True),
+    ("cmp_lt", 4, 4, False),
+    ("cmp_le", 4, 4, True),
+    ("cmp_gt", 5, 4, True),
+    ("cmp_ge", 4, 4, True),
+    ("cmp_ge", 3, 4, False),
+]
+
+
+@pytest.mark.parametrize("method,a,b,expected", INT_CASES)
+def test_integer_semantics(method, a, b, expected):
+    assert _eval_binary(method, a, b) == expected
+
+
+@pytest.mark.parametrize("method,a,b,expected", FLOAT_CASES)
+def test_float_semantics(method, a, b, expected):
+    assert _eval_binary(method, a, b) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("method,a,b,expected", COMPARE_CASES)
+def test_compare_semantics(method, a, b, expected):
+    assert _eval_binary(method, a, b) is expected
+
+
+class TestPredicateLogic:
+    def _pred_program(self, combine):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        true_p = fb.cmp_eq(1, 1)
+        false_p = fb.cmp_eq(1, 0)
+        result = combine(fb, true_p, false_p)
+        fb.ret(fb.select(result, 1, 0))
+        return run_program(pb.finish()).return_value
+
+    def test_pand(self):
+        assert self._pred_program(lambda fb, t, f: fb.pand(t, f)) == 0
+        assert self._pred_program(lambda fb, t, f: fb.pand(t, t)) == 1
+
+    def test_por(self):
+        assert self._pred_program(lambda fb, t, f: fb.por(t, f)) == 1
+        assert self._pred_program(lambda fb, t, f: fb.por(f, f)) == 0
+
+    def test_pnot(self):
+        assert self._pred_program(lambda fb, t, f: fb.pnot(f)) == 1
+        assert self._pred_program(lambda fb, t, f: fb.pnot(t)) == 0
+
+
+class TestSelectAndConversions:
+    def test_select_both_arms(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main", n_params=1)
+        fb.block("entry")
+        (x,) = fb.function.params
+        p = fb.cmp_gt(x, 0)
+        fb.ret(fb.select(p, 100, 200))
+        program = pb.finish()
+        assert run_program(program, (5,)).return_value == 100
+        assert run_program(program, (-5,)).return_value == 200
+
+    def test_itof_ftoi_roundtrip_truncates(self):
+        assert _eval_unary("itof", 7) == 7.0
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        f = fb.fdiv(fb.itof(7), 2.0)
+        fb.ret(fb.ftoi(f))
+        assert run_program(pb.finish()).return_value == 3
+
+    def test_shifts_compose(self):
+        pb = ProgramBuilder("t")
+        fb = pb.function("main")
+        fb.block("entry")
+        fb.ret(fb.shr(fb.shl(5, 8), 4))
+        assert run_program(pb.finish()).return_value == 5 * 16

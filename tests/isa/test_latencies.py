@@ -1,0 +1,38 @@
+"""Tests for the latency tables."""
+
+from repro.isa.latencies import (
+    DEFAULT_LATENCIES,
+    SCHEDULED_LOAD_LATENCY,
+    latency_of,
+    scheduling_latency,
+)
+from repro.isa.operations import Opcode
+
+
+class TestLatencyTable:
+    def test_every_opcode_has_a_latency(self):
+        for opcode in Opcode:
+            assert latency_of(opcode) >= 1, opcode
+
+    def test_itanium_flavour(self):
+        # Single-cycle integer ALU, multi-cycle multiply/divide,
+        # 4-cycle floating point adds/multiplies.
+        assert latency_of(Opcode.ADD) == 1
+        assert latency_of(Opcode.MUL) > 1
+        assert latency_of(Opcode.DIV) > latency_of(Opcode.MUL)
+        assert latency_of(Opcode.FADD) == 4
+        assert latency_of(Opcode.FDIV) > latency_of(Opcode.FMUL)
+
+    def test_scheduler_plans_for_l1_hit_loads(self):
+        assert scheduling_latency(Opcode.LOAD) == SCHEDULED_LOAD_LATENCY
+        assert SCHEDULED_LOAD_LATENCY > latency_of(Opcode.LOAD)
+
+    def test_scheduling_latency_matches_table_elsewhere(self):
+        for opcode in Opcode:
+            if opcode is not Opcode.LOAD:
+                assert scheduling_latency(opcode) == latency_of(opcode)
+
+    def test_network_ops_occupy_one_slot(self):
+        for opcode in (Opcode.PUT, Opcode.GET, Opcode.SEND, Opcode.RECV,
+                       Opcode.BCAST, Opcode.SPAWN, Opcode.MODE_SWITCH):
+            assert latency_of(opcode) == 1

@@ -1,0 +1,116 @@
+"""Unit tests for the per-core machine-code container."""
+
+import pytest
+
+from repro.isa.machinecode import CompiledProgram, CoreBlock, CoreFunction
+from repro.isa.operations import Imm, Opcode, Reg, RegFile, make_op
+from repro.isa.program import Function, Program
+
+
+def _program():
+    program = Program()
+    fn = Function("main")
+    fn.add_block("entry")
+    program.add_function(fn)
+    return program
+
+
+def _compiled(n_cores=2, blocks_per_core=None):
+    program = _program()
+    compiled = CompiledProgram(program, n_cores)
+    for core in range(n_cores):
+        cf = CoreFunction("main", "entry")
+        for label, slots in (blocks_per_core or {}).get(
+            core, {"entry": [make_op(Opcode.HALT)]}
+        ).items():
+            cf.add_block(CoreBlock(label, slots=list(slots)))
+        compiled.add_function(core, cf)
+    return compiled
+
+
+class TestCoreBlock:
+    def test_len_counts_slots_including_nops(self):
+        block = CoreBlock("b", slots=[None, make_op(Opcode.NOP), None])
+        assert len(block) == 3
+        assert len(list(block.ops())) == 1
+
+    def test_op_addr_offsets_from_base(self):
+        block = CoreBlock("b", slots=[None] * 4)
+        block.base_addr = 100
+        assert block.op_addr(0) == 100
+        assert block.op_addr(3) == 103
+
+
+class TestCoreFunction:
+    def test_duplicate_block_rejected(self):
+        cf = CoreFunction("main", "entry")
+        cf.add_block(CoreBlock("entry"))
+        with pytest.raises(ValueError):
+            cf.add_block(CoreBlock("entry"))
+
+    def test_ordered_blocks_preserve_insertion(self):
+        cf = CoreFunction("main", "a")
+        for label in ("a", "b", "c"):
+            cf.add_block(CoreBlock(label))
+        assert [b.label for b in cf.ordered_blocks()] == ["a", "b", "c"]
+
+
+class TestCompiledProgram:
+    def test_assign_addresses_are_disjoint_within_core(self):
+        compiled = _compiled(
+            blocks_per_core={
+                0: {
+                    "entry": [make_op(Opcode.NOP)] * 3,
+                    "next": [make_op(Opcode.HALT)],
+                },
+                1: {"entry": [make_op(Opcode.HALT)]},
+            }
+        )
+        compiled.assign_addresses()
+        cf = compiled.streams[0]["main"]
+        assert cf.block("entry").base_addr == 0
+        assert cf.block("next").base_addr == 3
+
+    def test_validate_requires_all_functions_on_all_cores(self):
+        program = _program()
+        compiled = CompiledProgram(program, 2)
+        cf = CoreFunction("main", "entry")
+        cf.add_block(CoreBlock("entry", slots=[make_op(Opcode.HALT)]))
+        compiled.add_function(0, cf)
+        with pytest.raises(ValueError, match="missing functions"):
+            compiled.validate()
+
+    def test_validate_rejects_unknown_successor(self):
+        compiled = _compiled()
+        compiled.streams[0]["main"].block("entry").taken = "ghost"
+        with pytest.raises(ValueError, match="unknown block"):
+            compiled.validate()
+
+    def test_validate_rejects_unknown_pbr_target(self):
+        program = _program()
+        compiled = CompiledProgram(program, 1)
+        cf = CoreFunction("main", "entry")
+        pbr = make_op(Opcode.PBR, [Reg(RegFile.BTR, 0)], [], target="ghost")
+        cf.add_block(CoreBlock("entry", slots=[pbr, make_op(Opcode.HALT)]))
+        compiled.add_function(0, cf)
+        with pytest.raises(ValueError, match="PBR to unknown"):
+            compiled.validate()
+
+    def test_static_op_count_ignores_padding(self):
+        compiled = _compiled(
+            blocks_per_core={
+                0: {"entry": [None, make_op(Opcode.NOP), make_op(Opcode.HALT)]},
+                1: {"entry": [make_op(Opcode.HALT)]},
+            }
+        )
+        assert compiled.static_op_count() == 3
+
+    def test_duplicate_function_on_core_rejected(self):
+        compiled = _compiled()
+        with pytest.raises(ValueError):
+            compiled.add_function(0, CoreFunction("main", "entry"))
+
+    def test_describe_lists_every_core(self):
+        text = _compiled().describe()
+        assert "=== core 0 ===" in text and "=== core 1 ===" in text
+        assert "halt" in text

@@ -1,0 +1,126 @@
+"""Unit tests for the operation/operand model."""
+
+import pytest
+
+from repro.isa.operations import (
+    ALU_SEMANTICS,
+    COMM_OPCODES,
+    COMPARISONS,
+    CONTROL_OPCODES,
+    MEMORY_OPCODES,
+    Imm,
+    Opcode,
+    Operation,
+    Reg,
+    RegFile,
+    fresh_uid,
+    make_op,
+)
+
+
+class TestRegAndImm:
+    def test_reg_repr_uses_file_prefix(self):
+        assert repr(Reg(RegFile.GPR, 3)) == "r3"
+        assert repr(Reg(RegFile.FPR, 0)) == "f0"
+        assert repr(Reg(RegFile.PR, 7)) == "p7"
+        assert repr(Reg(RegFile.BTR, 1)) == "b1"
+
+    def test_regs_hash_by_value(self):
+        assert Reg(RegFile.GPR, 5) == Reg(RegFile.GPR, 5)
+        assert len({Reg(RegFile.GPR, 5), Reg(RegFile.GPR, 5)}) == 1
+
+    def test_same_index_different_file_distinct(self):
+        assert Reg(RegFile.GPR, 2) != Reg(RegFile.FPR, 2)
+
+    def test_imm_wraps_value(self):
+        assert Imm(4).value == 4
+        assert repr(Imm(-1)) == "#-1"
+
+
+class TestOperation:
+    def test_make_op_collects_attrs(self):
+        op = make_op(Opcode.PBR, [Reg(RegFile.BTR, 0)], [], target="L1")
+        assert op.attrs["target"] == "L1"
+        assert op.dest == Reg(RegFile.BTR, 0)
+
+    def test_uids_are_unique(self):
+        a = make_op(Opcode.NOP)
+        b = make_op(Opcode.NOP)
+        assert a.uid != b.uid
+
+    def test_clone_preserves_uid_by_default(self):
+        op = make_op(Opcode.ADD, [Reg(RegFile.GPR, 0)], [Imm(1), Imm(2)])
+        clone = op.clone()
+        assert clone.uid == op.uid
+        assert clone is not op
+        assert clone.srcs == op.srcs
+
+    def test_clone_with_overrides(self):
+        op = make_op(Opcode.ADD, [Reg(RegFile.GPR, 0)], [Imm(1), Imm(2)])
+        clone = op.clone(core=3)
+        assert clone.core == 3
+        assert op.core is None
+
+    def test_clone_attrs_are_independent(self):
+        op = make_op(Opcode.SEND, [], [Imm(0)], target_core=1)
+        clone = op.clone()
+        clone.attrs["target_core"] = 2
+        assert op.attrs["target_core"] == 1
+
+    def test_operations_compare_by_identity(self):
+        a = make_op(Opcode.NOP)
+        b = make_op(Opcode.NOP)
+        assert a != b
+        assert a == a
+        assert a in [a]
+        assert b not in [a]
+
+    def test_src_regs_filters_immediates(self):
+        r = Reg(RegFile.GPR, 1)
+        op = make_op(Opcode.ADD, [Reg(RegFile.GPR, 0)], [r, Imm(5)])
+        assert op.src_regs() == (r,)
+
+    def test_predicates(self):
+        assert make_op(Opcode.LOAD).is_memory()
+        assert make_op(Opcode.BR).is_control()
+        assert make_op(Opcode.PUT).is_comm()
+        assert not make_op(Opcode.ADD).is_memory()
+
+    def test_fresh_uid_monotone(self):
+        assert fresh_uid() < fresh_uid()
+
+
+class TestSemanticTables:
+    def test_alu_semantics_cover_integer_ops(self):
+        assert ALU_SEMANTICS[Opcode.ADD](2, 3) == 5
+        assert ALU_SEMANTICS[Opcode.SUB](2, 3) == -1
+        assert ALU_SEMANTICS[Opcode.MUL](4, 3) == 12
+        assert ALU_SEMANTICS[Opcode.XOR](5, 3) == 6
+        assert ALU_SEMANTICS[Opcode.SHL](1, 4) == 16
+        assert ALU_SEMANTICS[Opcode.SHR](16, 2) == 4
+
+    def test_division_truncates_toward_zero(self):
+        assert ALU_SEMANTICS[Opcode.DIV](7, 2) == 3
+        assert ALU_SEMANTICS[Opcode.DIV](-7, 2) == -3
+        assert ALU_SEMANTICS[Opcode.REM](7, 2) == 1
+        assert ALU_SEMANTICS[Opcode.REM](-7, 2) == -1
+
+    def test_float_division_stays_float(self):
+        assert ALU_SEMANTICS[Opcode.FDIV](7.0, 2.0) == 3.5
+        assert ALU_SEMANTICS[Opcode.DIV](7.0, 2.0) == 3.5
+
+    def test_comparisons(self):
+        assert COMPARISONS[Opcode.CMP_LT](1, 2)
+        assert not COMPARISONS[Opcode.CMP_LT](2, 2)
+        assert COMPARISONS[Opcode.CMP_LE](2, 2)
+        assert COMPARISONS[Opcode.CMP_NE](1, 2)
+        assert COMPARISONS[Opcode.CMP_GE](2, 2)
+        assert COMPARISONS[Opcode.CMP_GT](3, 2)
+        assert COMPARISONS[Opcode.CMP_EQ](2, 2)
+
+    def test_opcode_groups_disjoint_where_expected(self):
+        assert not (MEMORY_OPCODES & CONTROL_OPCODES)
+        assert not (MEMORY_OPCODES & COMM_OPCODES)
+        assert Opcode.SEND in COMM_OPCODES
+        assert Opcode.RECV in COMM_OPCODES
+        assert Opcode.CALL in CONTROL_OPCODES

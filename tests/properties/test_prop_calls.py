@@ -1,0 +1,114 @@
+"""Property tests over random call structures: the call/return machinery
+(argument marshalling on every core, return-value distribution, barrier
+synchronization in decoupled mode) must preserve sequential semantics."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch import mesh
+from repro.compiler import compile_program
+from repro.isa import ProgramBuilder, run_program
+from repro.sim import VoltronMachine
+
+OPS = ("add", "mul", "xor", "sub")
+
+
+@st.composite
+def call_programs(draw):
+    n_helpers = draw(st.integers(min_value=1, max_value=3))
+    helper_bodies = [
+        draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(OPS), st.integers(min_value=1, max_value=7)
+                ),
+                min_size=1,
+                max_size=4,
+            )
+        )
+        for _ in range(n_helpers)
+    ]
+    trips = draw(st.integers(min_value=4, max_value=12))
+    call_sites = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_helpers - 1),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    return helper_bodies, trips, call_sites
+
+
+def build_program(helper_bodies, trips, call_sites):
+    pb = ProgramBuilder("calls")
+    a = pb.alloc("a", 16, init=[(3 * i + 1) % 17 for i in range(16)])
+    out = pb.alloc("out", trips)
+    for index, body in enumerate(helper_bodies):
+        hb = pb.function(f"h{index}", n_params=1)
+        hb.block(f"h{index}_entry")
+        (x,) = hb.function.params
+        t = x
+        for op_name, const in body:
+            t = getattr(hb, op_name)(t, const)
+        hb.ret(hb.and_(t, 0xFFFF))
+    fb = pb.function("main")
+    fb.block("entry")
+    with fb.counted_loop("L", 0, trips) as i:
+        idx = fb.and_(i, 15)
+        v = fb.load(a.base, idx)
+        for helper_index in call_sites:
+            v = fb.call(f"h{helper_index}", [v])
+        fb.store(out.base, i, v)
+    fb.halt()
+    return pb.finish()
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(call_programs())
+def test_random_call_structures_match_interpreter(data):
+    helper_bodies, trips, call_sites = data
+    program = build_program(helper_bodies, trips, call_sites)
+    reference = run_program(program)
+    expected = reference.array_values(program, "out")
+    for n_cores, strategy in ((2, "ilp"), (2, "tlp"), (4, "hybrid")):
+        compiled = compile_program(program, n_cores, strategy)
+        machine = VoltronMachine(
+            compiled, mesh(n_cores), max_cycles=2_000_000
+        )
+        machine.run()
+        assert machine.array_values("out") == expected, (
+            f"{n_cores}-core {strategy} diverged"
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    depth=st.integers(min_value=1, max_value=3),
+    seed_value=st.integers(min_value=1, max_value=50),
+)
+def test_nested_calls_match_interpreter(depth, seed_value):
+    pb = ProgramBuilder("nested")
+    out = pb.alloc("out", 1)
+    previous = None
+    for level in range(depth):
+        hb = pb.function(f"level{level}", n_params=1)
+        hb.block(f"l{level}")
+        (x,) = hb.function.params
+        t = hb.add(hb.mul(x, 3), level)
+        if previous is not None:
+            t = hb.call(previous, [t])
+        hb.ret(t)
+        previous = f"level{level}"
+    fb = pb.function("main")
+    fb.block("entry")
+    fb.store(out.base, 0, fb.call(previous, [seed_value]))
+    fb.halt()
+    program = pb.finish()
+    expected = run_program(program).array_values(program, "out")
+    compiled = compile_program(program, 2, "ilp")
+    machine = VoltronMachine(compiled, mesh(2), max_cycles=1_000_000)
+    machine.run()
+    assert machine.array_values("out") == expected

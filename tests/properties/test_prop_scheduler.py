@@ -1,0 +1,124 @@
+"""Property tests on the static schedulers: for random op graphs the
+emitted slot assignments must honour every dependence and alignment
+constraint the machine relies on."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.schedule import (
+    fresh_align_id,
+    schedule_coupled,
+    schedule_decoupled,
+)
+from repro.isa import ProgramBuilder
+from repro.isa.latencies import scheduling_latency
+from repro.isa.operations import Imm, Opcode, Reg, RegFile, make_op
+
+R = lambda i: Reg(RegFile.GPR, i)
+
+ARITH = (Opcode.ADD, Opcode.MUL, Opcode.XOR, Opcode.SUB)
+
+
+def _program():
+    pb = ProgramBuilder("t")
+    fb = pb.function("main")
+    fb.block("entry")
+    fb.halt()
+    return pb.finish()
+
+
+@st.composite
+def op_lists(draw, n_cores=2):
+    """Random dataflow over a small register set, random core assignment."""
+    count = draw(st.integers(min_value=1, max_value=18))
+    ops = []
+    defined = []
+    for index in range(count):
+        opcode = draw(st.sampled_from(ARITH))
+        if defined and draw(st.booleans()):
+            src = draw(st.sampled_from(defined))
+        else:
+            src = Imm(draw(st.integers(0, 9)))
+        dest = R(index)  # SSA-style fresh destinations
+        op = make_op(opcode, [dest], [src, Imm(1)])
+        op.core = draw(st.integers(0, n_cores - 1))
+        ops.append(op)
+        defined.append(dest)
+    return ops
+
+
+def _check_flow_latencies(ops, slot_of):
+    """Every same-core consumer issues >= producer slot + latency."""
+    last_def = {}
+    for op in ops:
+        for src in op.srcs:
+            if isinstance(src, Reg) and src in last_def:
+                producer = last_def[src]
+                if producer.core == op.core:
+                    required = slot_of[producer.uid] + scheduling_latency(
+                        producer.opcode
+                    )
+                    assert slot_of[op.uid] >= required
+        for dest in op.dests:
+            last_def[dest] = op
+
+
+def _slots_map(slots):
+    mapping = {}
+    for core_slots in slots:
+        for index, op in enumerate(core_slots):
+            if op is not None:
+                mapping[op.uid] = index
+    return mapping
+
+
+class TestCoupledScheduler:
+    @settings(max_examples=60, deadline=None)
+    @given(op_lists())
+    def test_dependences_and_single_issue(self, ops):
+        program = _program()
+        slots = schedule_coupled(program, ops, 2)
+        # Equal lengths (lock-step NOP padding).
+        assert len(slots[0]) == len(slots[1])
+        # Single issue: one op per core per cycle, every op placed once.
+        placed = [op for core_slots in slots for op in core_slots if op]
+        assert len(placed) == len(ops)
+        assert len({id(op) for op in placed}) == len(ops)
+        _check_flow_latencies(ops, _slots_map(slots))
+
+    @settings(max_examples=40, deadline=None)
+    @given(op_lists(), st.data())
+    def test_align_groups_always_co_issue(self, ops, data):
+        if len(ops) < 2:
+            return
+        # Pin two ops on different cores into an align group.
+        on0 = [op for op in ops if op.core == 0]
+        on1 = [op for op in ops if op.core == 1]
+        if not on0 or not on1:
+            return
+        a = data.draw(st.sampled_from(on0))
+        b = data.draw(st.sampled_from(on1))
+        align = fresh_align_id()
+        a.attrs["align"] = align
+        b.attrs["align"] = align
+        slots = schedule_coupled(_program(), ops, 2)
+        mapping = _slots_map(slots)
+        assert mapping[a.uid] == mapping[b.uid]
+
+
+class TestDecoupledScheduler:
+    @settings(max_examples=60, deadline=None)
+    @given(op_lists(n_cores=3))
+    def test_per_core_order_preserved(self, ops):
+        """The queue protocol depends on the decoupled scheduler never
+        reordering a core's operations."""
+        slots = schedule_decoupled(_program(), ops, 3)
+        for core in range(3):
+            expected = [op for op in ops if op.core == core]
+            got = [op for op in slots[core] if op is not None]
+            assert got == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(op_lists(n_cores=2))
+    def test_flow_latencies_respected(self, ops):
+        slots = schedule_decoupled(_program(), ops, 2)
+        _check_flow_latencies(ops, _slots_map(slots))

@@ -1,0 +1,318 @@
+"""Machine-level simulator tests on hand-assembled per-core code.
+
+A tiny assembler builds :class:`CompiledProgram` objects directly so these
+tests pin down the machine's execution contract independently of the
+compiler.
+"""
+
+import pytest
+
+from repro.arch import four_core, single_core, two_core
+from repro.isa.machinecode import CompiledProgram, CoreBlock, CoreFunction
+from repro.isa.operations import Imm, Opcode, Reg, RegFile, make_op
+from repro.isa.program import Function, Program
+from repro.sim import Deadlock, SimulatorError, VoltronMachine
+
+R = lambda i: Reg(RegFile.GPR, i)
+P = lambda i: Reg(RegFile.PR, i)
+B = lambda i: Reg(RegFile.BTR, i)
+
+
+def op(opcode, dests=None, srcs=None, **attrs):
+    return make_op(opcode, dests, srcs, **attrs)
+
+
+def assemble(n_cores, core_blocks, entry="entry", modes=None):
+    """core_blocks: {core: [(label, slots, taken, fall), ...]}."""
+    program = Program("hand")
+    fn = Function("main")
+    fn.add_block("entry")
+    program.add_function(fn)
+    compiled = CompiledProgram(program, n_cores)
+    for core in range(n_cores):
+        cf = CoreFunction("main", entry)
+        for label, slots, taken, fall in core_blocks[core]:
+            block = CoreBlock(label, slots=list(slots), taken=taken, fall=fall)
+            if modes and label in modes:
+                block.mode = modes[label]
+            cf.add_block(block)
+        compiled.add_function(core, cf)
+    return compiled
+
+
+def run(compiled, config, **kwargs):
+    machine = VoltronMachine(compiled, config, **kwargs)
+    machine.run()
+    return machine
+
+
+class TestSingleCore:
+    def test_arithmetic_and_store(self):
+        compiled = assemble(1, {
+            0: [("entry", [
+                op(Opcode.ADD, [R(0)], [Imm(2), Imm(3)]),
+                op(Opcode.MUL, [R(1)], [R(0), Imm(10)]),
+                op(Opcode.STORE, [], [Imm(64), Imm(0), R(1)]),
+                op(Opcode.HALT),
+            ], None, None)],
+        })
+        machine = run(compiled, single_core())
+        assert machine.memory.load(64) == 50
+
+    def test_nop_padding_costs_cycles(self):
+        # Three pad slots stay within one I-cache line, so the cost is
+        # exactly three issue cycles.
+        body = [op(Opcode.HALT)]
+        padded = [None] * 3 + [op(Opcode.HALT)]
+        fast = run(assemble(1, {0: [("entry", body, None, None)]}), single_core())
+        slow = run(assemble(1, {0: [("entry", padded, None, None)]}), single_core())
+        assert slow.stats.cycles == fast.stats.cycles + 3
+
+    def test_branch_taken_and_fallthrough(self):
+        blocks = [
+            ("entry", [
+                op(Opcode.MOV, [R(0)], [Imm(0)]),
+                op(Opcode.CMP_LT, [P(0)], [Imm(1), Imm(2)]),
+                op(Opcode.PBR, [B(0)], [], target="yes"),
+                op(Opcode.BR, [], [B(0), P(0)]),
+            ], "yes", "no"),
+            ("no", [
+                op(Opcode.MOV, [R(0)], [Imm(111)]),
+                op(Opcode.HALT),
+            ], None, None),
+            ("yes", [
+                op(Opcode.STORE, [], [Imm(8), Imm(0), Imm(222)]),
+                op(Opcode.HALT),
+            ], None, None),
+        ]
+        machine = run(assemble(1, {0: blocks}), single_core())
+        assert machine.memory.load(8) == 222
+
+    def test_scoreboard_interlock_counts_latency_stall(self):
+        # MUL has latency 3; a back-to-back consumer must stall.
+        compiled = assemble(1, {
+            0: [("entry", [
+                op(Opcode.MUL, [R(0)], [Imm(3), Imm(4)]),
+                op(Opcode.ADD, [R(1)], [R(0), Imm(1)]),
+                op(Opcode.HALT),
+            ], None, None)],
+        })
+        machine = run(compiled, single_core())
+        assert machine.stats.cores[0].stalls["latency"] >= 2
+        assert machine.cores[0].regs.read(R(1)) == 13
+
+    def test_load_miss_blocks_and_counts_dstall(self):
+        compiled = assemble(1, {
+            0: [("entry", [
+                op(Opcode.LOAD, [R(0)], [Imm(0), Imm(0)]),
+                op(Opcode.HALT),
+            ], None, None)],
+        })
+        machine = run(compiled, single_core())
+        assert machine.stats.cores[0].stalls["dstall"] > 50  # memory latency
+        assert machine.stats.cores[0].l1d_misses == 1
+
+    def test_empty_block_falls_through(self):
+        blocks = [
+            ("entry", [], None, "mid"),
+            ("mid", [], None, "end"),
+            ("end", [op(Opcode.HALT)], None, None),
+        ]
+        machine = run(assemble(1, {0: blocks}), single_core())
+        assert machine.stats.cycles >= 1
+
+    def test_run_off_block_without_fall_raises(self):
+        compiled = assemble(1, {
+            0: [("entry", [op(Opcode.NOP)], None, None)],
+        })
+        with pytest.raises(SimulatorError):
+            run(compiled, single_core())
+
+
+class TestCoupledLockstep:
+    def test_put_get_transfers_value(self):
+        compiled = assemble(2, {
+            0: [("entry", [
+                op(Opcode.ADD, [R(0)], [Imm(20), Imm(22)]),
+                op(Opcode.PUT, [], [R(0)], direction="east", align=901),
+                op(Opcode.HALT, align=903),
+            ], None, None)],
+            1: [("entry", [
+                None,
+                op(Opcode.GET, [R(1)], [], direction="west", align=901),
+                op(Opcode.HALT, align=903),
+            ], None, None)],
+        })
+        machine = run(compiled, two_core())
+        assert machine.cores[1].regs.read(R(1)) == 42
+
+    def test_misaligned_get_raises(self):
+        compiled = assemble(2, {
+            0: [("entry", [
+                op(Opcode.NOP),
+                op(Opcode.HALT, align=910),
+            ], None, None)],
+            1: [("entry", [
+                op(Opcode.GET, [R(1)], [], direction="west"),
+                op(Opcode.HALT, align=910),
+            ], None, None)],
+        })
+        with pytest.raises(Exception):
+            run(compiled, two_core())
+
+    def test_stall_bus_propagates_miss(self):
+        # Core 0 misses; lock-step forces core 1 to stall identically.
+        compiled = assemble(2, {
+            0: [("entry", [
+                op(Opcode.LOAD, [R(0)], [Imm(0), Imm(0)]),
+                op(Opcode.NOP),
+                op(Opcode.HALT, align=920),
+            ], None, None)],
+            1: [("entry", [
+                op(Opcode.NOP),
+                op(Opcode.NOP),
+                op(Opcode.HALT, align=920),
+            ], None, None)],
+        })
+        machine = run(compiled, two_core())
+        c0, c1 = machine.stats.cores
+        assert c0.stalls["dstall"] > 50
+        assert c1.stalls["dstall"] == c0.stalls["dstall"]
+
+    def test_lockstep_divergence_detected(self):
+        # The cores branch to *different* logical blocks in the same cycle:
+        # the lock-step assertion must catch the divergence.
+        def tail(label):
+            return (label, [op(Opcode.NOP), op(Opcode.HALT)], None, None)
+
+        compiled = assemble(2, {
+            0: [("entry", [
+                op(Opcode.PBR, [B(0)], [], target="x"),
+                op(Opcode.BR, [], [B(0)]),
+            ], "x", None), tail("x"), tail("y")],
+            1: [("entry", [
+                op(Opcode.PBR, [B(0)], [], target="y"),
+                op(Opcode.BR, [], [B(0)]),
+            ], "y", None), tail("x"), tail("y")],
+        })
+        with pytest.raises(SimulatorError):
+            run(compiled, two_core())
+
+
+class TestBroadcast:
+    def test_bcast_reaches_all_cores(self):
+        blocks = {}
+        blocks[0] = [("entry", [
+            op(Opcode.CMP_LT, [P(0)], [Imm(1), Imm(2)]),
+            op(Opcode.BCAST, [], [P(0)], align=930),
+            op(Opcode.HALT, align=931),
+        ], None, None)]
+        for core in (1, 2, 3):
+            blocks[core] = [("entry", [
+                None,
+                op(Opcode.GET, [P(0)], [], direction="bcast", bcast_src=0,
+                   align=930),
+                op(Opcode.HALT, align=931),
+            ], None, None)]
+        machine = run(assemble(4, blocks), four_core())
+        for core in (1, 2, 3):
+            assert machine.cores[core].regs.read(P(0)) is True
+
+
+class TestModeSwitchAndThreads:
+    def _dual_mode_program(self):
+        """Core 0 spawns a thread on core 1, receives its result, releases."""
+        blocks = {
+            0: [
+                ("entry", [
+                    op(Opcode.MODE_SWITCH, mode="decoupled", align=940),
+                ], None, "work"),
+                ("work", [
+                    op(Opcode.SPAWN, target_core=1, target_block="thread"),
+                    op(Opcode.RECV, [R(5)], [], source_core=1),
+                    op(Opcode.STORE, [], [Imm(16), Imm(0), R(5)]),
+                    op(Opcode.RELEASE, target_core=1),
+                ], None, "join"),
+                ("join", [
+                    op(Opcode.MODE_SWITCH, mode="coupled"),
+                ], None, "end"),
+                ("end", [op(Opcode.HALT, align=941)], None, None),
+            ],
+            1: [
+                ("entry", [
+                    op(Opcode.MODE_SWITCH, mode="decoupled", align=940),
+                ], None, "park"),
+                ("park", [op(Opcode.LISTEN)], None, "join"),
+                ("thread", [
+                    op(Opcode.ADD, [R(9)], [Imm(40), Imm(2)]),
+                    op(Opcode.SEND, [], [R(9)], target_core=0),
+                    op(Opcode.SLEEP),
+                ], None, None),
+                ("join", [
+                    op(Opcode.MODE_SWITCH, mode="coupled"),
+                ], None, "end"),
+                ("end", [op(Opcode.HALT, align=941)], None, None),
+            ],
+        }
+        modes = {"work": "decoupled", "park": "decoupled",
+                 "thread": "decoupled", "join": "decoupled"}
+        return assemble(2, blocks, modes=modes)
+
+    def test_spawn_sleep_release_roundtrip(self):
+        machine = run(self._dual_mode_program(), two_core())
+        assert machine.memory.load(16) == 42
+        assert machine.stats.spawns == 1
+        assert machine.stats.mode_switches >= 2
+
+    def test_mode_cycles_accounted(self):
+        machine = run(self._dual_mode_program(), two_core())
+        assert machine.stats.mode_cycles["decoupled"] > 0
+        assert machine.stats.mode_cycles["coupled"] > 0
+
+    def test_idle_listening_is_counted(self):
+        machine = run(self._dual_mode_program(), two_core())
+        assert machine.stats.cores[1].stalls["idle"] > 0
+
+    def test_deadlock_detected_when_all_listen(self):
+        blocks = {
+            0: [
+                ("entry", [op(Opcode.MODE_SWITCH, mode="decoupled", align=950)],
+                 None, "park"),
+                ("park", [op(Opcode.LISTEN)], None, None),
+            ],
+            1: [
+                ("entry", [op(Opcode.MODE_SWITCH, mode="decoupled", align=950)],
+                 None, "park"),
+                ("park", [op(Opcode.LISTEN)], None, None),
+            ],
+        }
+        compiled = assemble(2, blocks, modes={"park": "decoupled"})
+        with pytest.raises(Deadlock):
+            run(compiled, two_core())
+
+
+class TestProgramArgs:
+    def test_args_reach_all_cores(self):
+        program = Program("argy")
+        fn = Function("main")
+        arg = fn.regs.gpr()
+        fn.params = [arg]
+        fn.add_block("entry")
+        program.add_function(fn)
+        compiled = CompiledProgram(program, 2)
+        for core in range(2):
+            cf = CoreFunction("main", "entry")
+            cf.add_block(CoreBlock("entry", slots=[
+                op(Opcode.STORE, [], [Imm(core), Imm(0), arg]),
+                op(Opcode.HALT, align=960),
+            ]))
+            compiled.add_function(core, cf)
+        machine = VoltronMachine(compiled, two_core(), args=(77,))
+        machine.run()
+        assert machine.memory.load(0) == 77
+        assert machine.memory.load(1) == 77
+
+    def test_wrong_arity_rejected(self):
+        compiled = assemble(1, {0: [("entry", [op(Opcode.HALT)], None, None)]})
+        with pytest.raises(ValueError):
+            VoltronMachine(compiled, single_core(), args=(1,))

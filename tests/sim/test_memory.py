@@ -1,0 +1,37 @@
+"""Unit tests for value storage (main memory)."""
+
+from repro.sim.memory import MainMemory
+
+
+class TestMainMemory:
+    def test_zero_fill(self):
+        memory = MainMemory()
+        assert memory.load(12345) == 0
+
+    def test_image_initialization(self):
+        memory = MainMemory({3: 30, 4: 40})
+        assert memory.load(3) == 30
+        assert memory.load(4) == 40
+
+    def test_store_overwrites(self):
+        memory = MainMemory({1: 10})
+        memory.store(1, 99)
+        assert memory.load(1) == 99
+
+    def test_as_dict_is_a_copy(self):
+        memory = MainMemory({1: 10})
+        snapshot = memory.as_dict()
+        memory.store(1, 2)
+        assert snapshot[1] == 10
+
+    def test_len_counts_written_words(self):
+        memory = MainMemory()
+        memory.store(5, 1)
+        memory.store(6, 2)
+        assert len(memory) == 2
+
+    def test_image_is_copied_not_aliased(self):
+        image = {7: 70}
+        memory = MainMemory(image)
+        memory.store(7, 71)
+        assert image[7] == 70

@@ -1,0 +1,140 @@
+"""Unit tests for the low-cost transactional memory."""
+
+import pytest
+
+from repro.sim.memory import MainMemory, WriteBuffer
+from repro.sim.tm import TransactionError, TransactionalMemory
+
+
+class TestWriteBuffer:
+    def test_buffered_store_shadows_memory(self):
+        memory = MainMemory({10: 5})
+        buffer = WriteBuffer()
+        assert buffer.load(10, memory) == 5
+        buffer.store(10, 99)
+        assert buffer.load(10, memory) == 99
+        assert memory.load(10) == 5
+
+    def test_publish(self):
+        memory = MainMemory()
+        buffer = WriteBuffer()
+        buffer.store(1, 11)
+        buffer.store(2, 22)
+        buffer.publish(memory)
+        assert memory.load(1) == 11
+        assert memory.load(2) == 22
+
+    def test_discard(self):
+        memory = MainMemory()
+        buffer = WriteBuffer()
+        buffer.store(1, 11)
+        buffer.load(2, memory)
+        buffer.discard()
+        assert not buffer.read_set and not buffer.write_set
+        buffer.publish(memory)
+        assert memory.load(1) == 0
+
+    def test_conflict_detection_uses_read_set(self):
+        memory = MainMemory()
+        buffer = WriteBuffer()
+        buffer.load(5, memory)
+        assert buffer.conflicts_with([5])
+        assert not buffer.conflicts_with([6])
+
+
+class TestOrderedCommit:
+    def setup_method(self):
+        self.memory = MainMemory()
+        self.tm = TransactionalMemory(self.memory)
+
+    def test_in_order_commit_succeeds(self):
+        self.tm.begin(0, region=1, order=0, n_chunks=2)
+        self.tm.begin(1, region=1, order=1, n_chunks=2)
+        self.tm.store(0, 100, 1)
+        self.tm.store(1, 200, 2)
+        assert self.tm.may_commit(0)
+        assert not self.tm.may_commit(1)
+        assert self.tm.try_commit(0)
+        assert self.tm.may_commit(1)
+        assert self.tm.try_commit(1)
+        assert self.memory.load(100) == 1
+        assert self.memory.load(200) == 2
+
+    def test_out_of_order_commit_rejected(self):
+        self.tm.begin(0, region=1, order=0, n_chunks=2)
+        self.tm.begin(1, region=1, order=1, n_chunks=2)
+        with pytest.raises(TransactionError):
+            self.tm.try_commit(1)
+
+    def test_conflict_aborts_later_chunk(self):
+        self.tm.begin(0, region=1, order=0, n_chunks=2)
+        self.tm.begin(1, region=1, order=1, n_chunks=2)
+        # Chunk 1 reads address 7 before chunk 0's write commits.
+        assert self.tm.load(1, 7) == 0
+        self.tm.store(0, 7, 42)
+        assert self.tm.try_commit(0)
+        assert not self.tm.try_commit(1)  # read 7, chunk 0 wrote 7 -> abort
+        assert self.tm.aborts == 1
+        # Retry after the earlier commit: reads see the committed value.
+        self.tm.begin(1, region=1, order=1, n_chunks=2)
+        assert self.tm.load(1, 7) == 42
+        assert self.tm.try_commit(1)
+
+    def test_no_conflict_when_read_precedes_no_write(self):
+        self.tm.begin(0, region=1, order=0, n_chunks=2)
+        self.tm.begin(1, region=1, order=1, n_chunks=2)
+        self.tm.load(1, 7)
+        self.tm.store(0, 8, 1)  # disjoint address
+        assert self.tm.try_commit(0)
+        assert self.tm.try_commit(1)
+        assert self.tm.aborts == 0
+
+    def test_writes_invisible_until_commit(self):
+        self.tm.begin(0, region=1, order=0, n_chunks=1)
+        self.tm.store(0, 50, 9)
+        assert self.memory.load(50) == 0
+        self.tm.try_commit(0)
+        assert self.memory.load(50) == 9
+
+    def test_abort_discards_buffer(self):
+        self.tm.begin(0, region=1, order=0, n_chunks=1)
+        self.tm.store(0, 50, 9)
+        self.tm.abort(0)
+        assert self.memory.load(50) == 0
+        assert not self.tm.in_transaction(0)
+
+    def test_region_reentry_wraps_commit_order(self):
+        """An outer loop re-executing the same DOALL region must keep
+        committing (the order counter wraps modulo the chunk count)."""
+        for _entry in range(3):
+            self.tm.begin(0, region=4, order=0, n_chunks=2)
+            self.tm.begin(1, region=4, order=1, n_chunks=2)
+            assert self.tm.try_commit(0)
+            assert self.tm.try_commit(1)
+        assert self.tm.commits == 6
+
+    def test_new_region_with_active_tx_rejected(self):
+        self.tm.begin(0, region=1, order=0, n_chunks=2)
+        with pytest.raises(TransactionError):
+            self.tm.begin(1, region=2, order=0, n_chunks=2)
+
+    def test_double_begin_rejected(self):
+        self.tm.begin(0, region=1, order=0, n_chunks=1)
+        with pytest.raises(TransactionError):
+            self.tm.begin(0, region=1, order=0, n_chunks=1)
+
+    def test_non_transactional_access_passthrough(self):
+        self.tm.store(0, 5, 123)
+        assert self.tm.load(0, 5) == 123
+        assert self.memory.load(5) == 123
+
+    def test_write_write_only_conflict_not_flagged_on_reader(self):
+        # Chunk 1 writes 7 (no read): chunk 0's commit of 7 does not
+        # invalidate it (lazy versioning orders the writes by commit).
+        self.tm.begin(0, region=1, order=0, n_chunks=2)
+        self.tm.begin(1, region=1, order=1, n_chunks=2)
+        self.tm.store(0, 7, 1)
+        self.tm.store(1, 7, 2)
+        assert self.tm.try_commit(0)
+        assert self.tm.try_commit(1)
+        assert self.memory.load(7) == 2  # chunk order preserved

@@ -1,0 +1,82 @@
+"""Tests for the 25-benchmark suite registry."""
+
+import pytest
+
+from repro.isa import run_program
+from repro.workloads.suite import BENCHMARKS, RECIPES, build
+
+
+class TestRegistry:
+    def test_suite_has_the_papers_25_benchmarks(self):
+        assert len(BENCHMARKS) == 25
+
+    def test_paper_benchmark_names_present(self):
+        for name in (
+            "052.alvinn", "164.gzip", "171.swim", "179.art", "197.parser",
+            "cjpeg", "epic", "gsmdecode", "mpeg2enc", "unepic",
+        ):
+            assert name in BENCHMARKS
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build("999.nothere")
+
+    def test_every_recipe_uses_known_kernels(self):
+        from repro.workloads.kernels import KERNELS
+
+        for recipe in RECIPES.values():
+            for kernel_name, _kwargs in recipe:
+                assert kernel_name in KERNELS
+
+
+class TestBuiltBenchmarks:
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_builds_and_validates(self, name):
+        bench = build(name)
+        bench.program.validate()
+        assert bench.outputs
+        assert len(bench.outputs) == len(bench.recipe)
+
+    def test_deterministic_build(self):
+        a = build("gsmdecode", seed=3)
+        b = build("gsmdecode", seed=3)
+        ra = run_program(a.program)
+        rb = run_program(b.program)
+        for out in a.outputs:
+            assert ra.array_values(a.program, out) == [
+                v for v in rb.array_values(b.program, out)
+            ]
+
+    def test_seed_changes_data(self):
+        a = build("gsmdecode", seed=3)
+        b = build("gsmdecode", seed=4)
+        ra = run_program(a.program)
+        rb = run_program(b.program)
+        differs = any(
+            ra.array_values(a.program, oa) != rb.array_values(b.program, ob)
+            for oa, ob in zip(a.outputs, b.outputs)
+        )
+        assert differs
+
+    def test_fig7_and_fig9_shapes_in_gsmdecode(self):
+        """gsmdecode must contain a DOALL loop (Fig. 7) and a high-ILP
+        region (Fig. 9), per the paper's examples."""
+        kinds = [kernel for kernel, _ in RECIPES["gsmdecode"]]
+        assert "doall" in kinds and "ilp" in kinds
+
+    def test_fig8_shape_in_gzip(self):
+        kinds = [kernel for kernel, _ in RECIPES["164.gzip"]]
+        assert "match" in kinds
+
+    def test_art_is_miss_dominated(self):
+        kinds = [kernel for kernel, _ in RECIPES["179.art"]]
+        assert kinds.count("strand") >= 2
+
+    def test_parser_and_vortex_make_calls(self):
+        for name in ("197.parser", "255.vortex"):
+            kinds = [kernel for kernel, _ in RECIPES[name]]
+            assert "call" in kinds
+
+    def test_epic_is_pipeline_heavy(self):
+        kinds = [kernel for kernel, _ in RECIPES["epic"]]
+        assert kinds.count("dswp") >= 2
