@@ -148,6 +148,10 @@ class Codegen:
 
     def compile(self) -> CompiledProgram:
         compiled = CompiledProgram(self.program, self.n_cores)
+        # One id allocator per compilation: region ids (and the R<id>_*
+        # labels built from them) depend only on the program, never on
+        # earlier compilations in the same process.
+        self._region_ids = itertools.count(1)
         for function in self.program.functions.values():
             self._lower_function(function, compiled)
         compiled.attrs["strategy"] = self.strategy
@@ -160,7 +164,8 @@ class Codegen:
     def _lower_function(self, function: Function, compiled: CompiledProgram) -> None:
         self._current_function = function
         regions = select_regions(
-            self.program, function, self.profile, self.n_cores, self.strategy
+            self.program, function, self.profile, self.n_cores, self.strategy,
+            ids=self._region_ids,
         )
         region_by_block = {region.block: region for region in regions}
 

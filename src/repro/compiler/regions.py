@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..isa.operations import Opcode
 from ..isa.program import BasicBlock, Function, Program
@@ -50,8 +50,6 @@ MISS_PENALTY_ESTIMATE = 10.0
 MIN_BLOCK_EXECUTIONS = 4
 #: Minimum op count for a strand block.
 MIN_STRAND_OPS = 6
-
-_region_ids = itertools.count(1)
 
 
 @dataclass
@@ -98,8 +96,18 @@ def select_regions(
     profile: ExecutionProfile,
     n_cores: int,
     strategy: str,
+    ids: Optional[Iterator[int]] = None,
 ) -> List[Region]:
-    """Choose the decoupled regions of one function under ``strategy``."""
+    """Choose the decoupled regions of one function under ``strategy``.
+
+    ``ids`` allocates region ids.  One :class:`~.codegen.Codegen` run
+    passes a single fresh counter for the whole compilation, which makes
+    rids -- and the ``R<id>_*`` labels derived from them -- a pure
+    function of the program, not of how many compilations the process
+    happened to run before (golden stats and cached results rely on
+    that).  When omitted, a fresh per-call counter is used."""
+    if ids is None:
+        ids = itertools.count(1)
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}")
     if strategy in ("baseline", "ilp") or n_cores < 2:
@@ -130,7 +138,7 @@ def select_regions(
             if doall is not None:
                 regions.append(
                     Region(
-                        rid=next(_region_ids),
+                        rid=next(ids),
                         strategy="doall",
                         function=function.name,
                         block=loop.header,
@@ -156,7 +164,7 @@ def select_regions(
         if dswp is not None and dswp.estimated_speedup > DSWP_SPEEDUP_THRESHOLD:
             regions.append(
                 Region(
-                    rid=next(_region_ids),
+                    rid=next(ids),
                     strategy="dswp",
                     function=function.name,
                     block=loop.header,
@@ -182,7 +190,7 @@ def select_regions(
         if strategy == "tlp" or miss_fraction > threshold:
             regions.append(
                 Region(
-                    rid=next(_region_ids),
+                    rid=next(ids),
                     strategy="strand",
                     function=function.name,
                     block=loop.header,
@@ -210,7 +218,7 @@ def select_regions(
             if miss_fraction > MISS_FRACTION_THRESHOLD:
                 regions.append(
                     Region(
-                        rid=next(_region_ids),
+                        rid=next(ids),
                         strategy="strand_block",
                         function=function.name,
                         block=block.label,

@@ -1,5 +1,6 @@
 """Experiment harness regenerating the paper's figures."""
 
+from .cache import ResultCache, cache_key, program_fingerprint, reference_key
 from .experiments import (
     ExperimentRunner,
     RunResult,
@@ -7,16 +8,21 @@ from .experiments import (
     arithmean,
     geomean,
 )
-from .reporting import render_bar_breakdown, render_table
+from .reporting import render_bar_breakdown, render_cache_line, render_table
 from .trace import TraceEvent, Tracer
 
 __all__ = [
     "ExperimentRunner",
+    "ResultCache",
     "RunResult",
     "SINGLE_STRATEGIES",
     "arithmean",
+    "cache_key",
     "geomean",
+    "program_fingerprint",
+    "reference_key",
     "render_bar_breakdown",
+    "render_cache_line",
     "render_table",
     "TraceEvent",
     "Tracer",

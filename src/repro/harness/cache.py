@@ -1,0 +1,119 @@
+"""On-disk result cache for simulation runs.
+
+A run is fully determined by the benchmark *program* (every op, block
+edge, and the initial memory image), the *machine configuration*, and the
+build *seed* -- so cache keys are sha256 content hashes of exactly that
+fingerprint, plus the (n_cores, strategy, max_cycles) cell coordinates.
+Content hashing (rather than keying on the benchmark name) means a
+workload-generator change invalidates stale entries automatically, and
+sha256 (rather than Python's per-process randomized ``hash()``) keeps
+keys stable across processes, so parallel workers and later invocations
+share one cache.
+
+Each entry is one JSON file ``<key>.json`` under the cache root, written
+atomically (temp file + rename) so concurrent workers never observe a
+torn entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..arch.config import MachineConfig
+from ..isa.program import Program
+
+#: Bump when the cached payload layout changes: old entries simply miss.
+CACHE_VERSION = 1
+
+
+def program_fingerprint(program: Program) -> str:
+    """A deterministic text rendering of everything that affects a run:
+    functions (in definition order), block structure and annotations, every
+    operation, the arrays, and the initial memory image."""
+    lines = [f"program {program.name} entry={program.entry}"]
+    for name, function in program.functions.items():
+        lines.append(f"function {name} params={function.params!r}")
+        for block in function.ordered_blocks():
+            lines.append(
+                f" block {block.label} taken={block.taken} fall={block.fall}"
+                f" mode={block.mode} region={block.region}"
+            )
+            for op in block.ops:
+                lines.append(f"  {op!r}")
+    for name in sorted(program.arrays):
+        symbol = program.arrays[name]
+        lines.append(f"array {name} base={symbol.base} size={symbol.size}")
+    for addr in sorted(program.initial_memory):
+        lines.append(f"mem {addr}={program.initial_memory[addr]!r}")
+    return "\n".join(lines)
+
+
+def cache_key(
+    program: Program,
+    config: MachineConfig,
+    seed: int,
+    strategy: str,
+    max_cycles: int,
+) -> str:
+    """sha256 over the full run fingerprint.  ``MachineConfig`` is a frozen
+    dataclass tree, so its repr is a complete, stable rendering."""
+    digest = hashlib.sha256()
+    digest.update(f"v{CACHE_VERSION}\n".encode())
+    digest.update(program_fingerprint(program).encode())
+    digest.update(f"\nconfig {config!r}".encode())
+    digest.update(f"\nseed {seed} strategy {strategy} "
+                  f"max_cycles {max_cycles}".encode())
+    return digest.hexdigest()
+
+
+def reference_key(program: Program) -> str:
+    """Cache key for the reference interpreter's output arrays: they
+    depend only on the program itself, not on any machine or strategy."""
+    digest = hashlib.sha256()
+    digest.update(f"v{CACHE_VERSION} reference\n".encode())
+    digest.update(program_fingerprint(program).encode())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """A directory of JSON run results, keyed by content hash."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: Dict[str, Any]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: a concurrent reader sees the old entry or the
+        # new one, never a partial write.
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

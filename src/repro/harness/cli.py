@@ -3,8 +3,14 @@
     python -m repro.harness.cli list
     python -m repro.harness.cli run --benchmark gsmdecode --cores 4 \
         --strategy hybrid
-    python -m repro.harness.cli figure --figure 10
+    python -m repro.harness.cli figure --figure 10 --jobs 4
     python -m repro.harness.cli figure --figure 13 --benchmarks gsmdecode epic
+
+Simulation results are cached on disk (``.repro-cache/`` by default, keyed
+by a content hash of program + config + seed) so a repeated figure run is
+nearly free; pass ``--no-cache`` to force fresh simulations.  ``--jobs N``
+fans independent (benchmark, cores, strategy) cells out over N worker
+processes.
 """
 
 from __future__ import annotations
@@ -16,9 +22,38 @@ from typing import List, Optional, Sequence
 from ..sim.stats import STALL_CATEGORIES
 from ..workloads.suite import BENCHMARKS
 from .experiments import ExperimentRunner, SINGLE_STRATEGIES
-from .reporting import render_bar_breakdown, render_table
+from .reporting import render_bar_breakdown, render_cache_line, render_table
 
 FIGURES = ("3", "7-9", "10", "11", "12", "13", "14")
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _add_runner_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent simulation cells (default 1)",
+    )
+    subparser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache",
+    )
+    subparser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+
+
+def _make_runner(args, benchmarks) -> ExperimentRunner:
+    return ExperimentRunner(
+        benchmarks=benchmarks,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        jobs=args.jobs,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--stalls", action="store_true", help="print the stall breakdown"
     )
+    _add_runner_options(run)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("--figure", required=True, choices=FIGURES)
@@ -50,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="restrict to a subset (default: all 25)",
     )
+    _add_runner_options(figure)
     return parser
 
 
@@ -60,7 +97,7 @@ def _cmd_list(out) -> int:
 
 
 def _cmd_run(args, out) -> int:
-    runner = ExperimentRunner(benchmarks=[args.benchmark])
+    runner = _make_runner(args, [args.benchmark])
     n_cores = args.cores
     strategy = "baseline" if n_cores == 1 else args.strategy
     result = runner.run(args.benchmark, n_cores, strategy)
@@ -75,6 +112,7 @@ def _cmd_run(args, out) -> int:
     print(f"txns      : {stats.tx_commits} commits, {stats.tx_aborts} "
           f"aborts; {stats.spawns} spawns", file=out)
     print("correct   : outputs match the reference interpreter", file=out)
+    print(render_cache_line(runner), file=out)
     if args.stalls:
         for category in STALL_CATEGORIES:
             mean = stats.mean_stalls(category)
@@ -85,7 +123,7 @@ def _cmd_run(args, out) -> int:
 
 
 def _cmd_figure(args, out) -> int:
-    runner = ExperimentRunner(benchmarks=args.benchmarks)
+    runner = _make_runner(args, args.benchmarks)
     figure = args.figure
     if figure == "3":
         print(
@@ -146,6 +184,7 @@ def _cmd_figure(args, out) -> int:
             ),
             file=out,
         )
+    print(render_cache_line(runner), file=out)
     return 0
 
 

@@ -4,12 +4,23 @@ Every simulation is functionally checked against the reference
 interpreter (a run with wrong output arrays is a harness failure, not a
 data point).  Results are memoized per (benchmark, cores, strategy) so
 the figure drivers can share runs.
+
+Two optional layers speed up suite-scale experiments:
+
+* ``cache_dir`` enables the on-disk :class:`~repro.harness.cache.ResultCache`
+  (content-hash keyed, stable across processes), so repeated figure runs
+  re-simulate only what changed;
+* ``jobs > 1`` fans independent (benchmark, cores, strategy) cells out to
+  a ``ProcessPoolExecutor``; every figure driver prefetches its cell list
+  through the pool before assembling the table.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..arch.config import MachineConfig, mesh, single_core
 from ..compiler.driver import VoltronCompiler
@@ -18,9 +29,13 @@ from ..isa.registers import Value
 from ..sim.machine import VoltronMachine
 from ..sim.stats import MachineStats, STALL_CATEGORIES
 from ..workloads.suite import BENCHMARKS, Benchmark, build
+from .cache import ResultCache, cache_key, reference_key
 
 #: Strategies evaluated per figure.
 SINGLE_STRATEGIES = ("ilp", "tlp", "llp")
+
+#: One simulation cell: (benchmark, n_cores, strategy).
+Cell = Tuple[str, int, str]
 
 
 @dataclass
@@ -34,6 +49,59 @@ class RunResult:
     #: (function, machine label) -> region descriptor (rid/strategy/origin).
     region_table: Dict[Tuple[str, str], Dict[str, object]]
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "n_cores": self.n_cores,
+            "strategy": self.strategy,
+            "cycles": self.cycles,
+            "stats": self.stats.to_dict(),
+            "correct": self.correct,
+            "region_table": [
+                [function, label, descriptor]
+                for (function, label), descriptor in self.region_table.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        return cls(
+            benchmark=data["benchmark"],
+            n_cores=data["n_cores"],
+            strategy=data["strategy"],
+            cycles=data["cycles"],
+            stats=MachineStats.from_dict(data["stats"]),
+            correct=data["correct"],
+            region_table={
+                (function, label): descriptor
+                for function, label, descriptor in data["region_table"]
+            },
+        )
+
+
+def _config_for(n_cores: int) -> MachineConfig:
+    return single_core() if n_cores == 1 else mesh(n_cores)
+
+
+def _run_cells_worker(spec: Tuple) -> List[Dict[str, object]]:
+    """Pool worker: simulate one benchmark's cells in a fresh runner and
+    hand the results back as plain dicts (JSON-safe, cheap to pickle).
+    The fan-out unit is a benchmark, not a cell, so the build, the
+    compiler, and the reference-interpreter run are paid once per worker
+    task instead of once per (cores, strategy) point.  Top-level so
+    ProcessPoolExecutor can address it by qualified name."""
+    name, cells, seed, max_cycles, cache_dir = spec
+    runner = ExperimentRunner(
+        benchmarks=[name],
+        seed=seed,
+        max_cycles=max_cycles,
+        cache_dir=cache_dir,
+    )
+    return [
+        runner.run(name, n_cores, strategy).to_dict()
+        for n_cores, strategy in cells
+    ]
+
 
 class ExperimentRunner:
     """Builds, compiles, simulates, and caches the whole suite."""
@@ -43,16 +111,24 @@ class ExperimentRunner:
         benchmarks: Optional[Sequence[str]] = None,
         seed: int = 1,
         max_cycles: int = 50_000_000,
+        cache_dir: Optional[Union[str, Path]] = None,
+        jobs: int = 1,
     ) -> None:
         self.names = list(benchmarks) if benchmarks is not None else list(
             BENCHMARKS
         )
         self.seed = seed
         self.max_cycles = max_cycles
+        self.jobs = max(1, jobs)
+        self.cache = ResultCache(Path(cache_dir)) if cache_dir else None
+        self._cache_dir = str(cache_dir) if cache_dir else None
         self._built: Dict[str, Benchmark] = {}
+        #: Cell -> content-hash key; the fingerprint render is not free,
+        #: and every cell is keyed at least twice (probe + store).
+        self._keys: Dict[Cell, str] = {}
         self._compilers: Dict[str, VoltronCompiler] = {}
         self._references: Dict[str, Dict[str, List[Value]]] = {}
-        self._runs: Dict[Tuple[str, int, str], RunResult] = {}
+        self._runs: Dict[Cell, RunResult] = {}
 
     # -- building blocks -----------------------------------------------------------
 
@@ -69,19 +145,56 @@ class ExperimentRunner:
     def reference_outputs(self, name: str) -> Dict[str, List[Value]]:
         if name not in self._references:
             bench = self.benchmark(name)
+            key = reference_key(bench.program) if self.cache else None
+            if key is not None:
+                payload = self.cache.load(key)
+                if payload is not None:
+                    self._references[name] = payload["arrays"]
+                    return self._references[name]
             result = run_program(bench.program)
             self._references[name] = {
                 array: result.array_values(bench.program, array)
                 for array in bench.outputs
             }
+            if key is not None:
+                self.cache.store(key, {"arrays": self._references[name]})
         return self._references[name]
+
+    def _cell_key(self, name: str, n_cores: int, strategy: str) -> str:
+        cell = (name, n_cores, strategy)
+        key = self._keys.get(cell)
+        if key is None:
+            key = cache_key(
+                self.benchmark(name).program,
+                _config_for(n_cores),
+                self.seed,
+                strategy,
+                self.max_cycles,
+            )
+            self._keys[cell] = key
+        return key
 
     def run(self, name: str, n_cores: int, strategy: str) -> RunResult:
         key = (name, n_cores, strategy)
         if key in self._runs:
             return self._runs[key]
+        if self.cache is not None:
+            payload = self.cache.load(self._cell_key(name, n_cores, strategy))
+            if payload is not None:
+                result = RunResult.from_dict(payload)
+                self._runs[key] = result
+                return result
+        result = self._simulate(name, n_cores, strategy)
+        if self.cache is not None:
+            self.cache.store(
+                self._cell_key(name, n_cores, strategy), result.to_dict()
+            )
+        self._runs[key] = result
+        return result
+
+    def _simulate(self, name: str, n_cores: int, strategy: str) -> RunResult:
         bench = self.benchmark(name)
-        config = single_core() if n_cores == 1 else mesh(n_cores)
+        config = _config_for(n_cores)
         compiled = self.compiler(name).compile(strategy, config)
         machine = VoltronMachine(compiled, config, max_cycles=self.max_cycles)
         stats = machine.run()
@@ -103,8 +216,55 @@ class ExperimentRunner:
             correct=correct,
             region_table=compiled.attrs.get("regions", {}),
         )
-        self._runs[key] = result
         return result
+
+    def prefetch(self, cells: Sequence[Cell]) -> None:
+        """Populate the run memo for ``cells``, fanning cache misses out to
+        a process pool when ``jobs > 1``.  Serial fallback otherwise -- the
+        figure drivers call this unconditionally."""
+        pending: List[Cell] = []
+        seen = set()
+        for cell in cells:
+            if cell in self._runs or cell in seen:
+                continue
+            seen.add(cell)
+            name, n_cores, strategy = cell
+            if self.cache is not None:
+                # Resolve hits in-process (and count them here, where the
+                # reporting layer can see the tallies); only true misses
+                # are worth a worker.
+                payload = self.cache.load(self._cell_key(*cell))
+                if payload is not None:
+                    self._runs[cell] = RunResult.from_dict(payload)
+                    continue
+            pending.append(cell)
+        if not pending:
+            return
+        if self.jobs == 1 or len({name for name, _, _ in pending}) == 1:
+            # The cache was already probed above, so simulate directly
+            # (run() would re-probe and double-count the miss).
+            for cell in pending:
+                result = self._simulate(*cell)
+                if self.cache is not None:
+                    self.cache.store(self._cell_key(*cell), result.to_dict())
+                self._runs[cell] = result
+            return
+        by_name: Dict[str, List[Tuple[int, str]]] = {}
+        for name, n_cores, strategy in pending:
+            by_name.setdefault(name, []).append((n_cores, strategy))
+        specs = [
+            (name, cells, self.seed, self.max_cycles, self._cache_dir)
+            for name, cells in by_name.items()
+        ]
+        # Workers store their own results in the shared on-disk cache; the
+        # parent's miss tally was taken at probe time above.
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            for spec, payloads in zip(specs, pool.map(_run_cells_worker, specs)):
+                name = spec[0]
+                for (n_cores, strategy), payload in zip(spec[1], payloads):
+                    self._runs[(name, n_cores, strategy)] = (
+                        RunResult.from_dict(payload)
+                    )
 
     def baseline(self, name: str) -> RunResult:
         return self.run(name, 1, "baseline")
@@ -117,6 +277,14 @@ class ExperimentRunner:
     def fig10_11_speedups(self, n_cores: int) -> Dict[str, Dict[str, float]]:
         """Figure 10 (2 cores) / Figure 11 (4 cores): per-benchmark speedup
         when exploiting each parallelism type individually."""
+        self.prefetch(
+            [(name, 1, "baseline") for name in self.names]
+            + [
+                (name, n_cores, strategy)
+                for name in self.names
+                for strategy in SINGLE_STRATEGIES
+            ]
+        )
         table: Dict[str, Dict[str, float]] = {}
         for name in self.names:
             table[name] = {
@@ -128,6 +296,14 @@ class ExperimentRunner:
     def fig12_stalls(self, n_cores: int = 4) -> Dict[str, Dict[str, Dict[str, float]]]:
         """Figure 12: stall cycles (per-core mean) under coupled-mode ILP
         vs decoupled fine-grain TLP, normalized to serial execution time."""
+        self.prefetch(
+            [(name, 1, "baseline") for name in self.names]
+            + [
+                (name, n_cores, strategy)
+                for name in self.names
+                for strategy in ("ilp", "tlp")
+            ]
+        )
         table: Dict[str, Dict[str, Dict[str, float]]] = {}
         for name in self.names:
             serial = self.baseline(name).cycles
@@ -143,6 +319,10 @@ class ExperimentRunner:
 
     def fig13_hybrid(self) -> Dict[str, Dict[int, float]]:
         """Figure 13: hybrid speedups on 2- and 4-core Voltron."""
+        self.prefetch(
+            [(name, 1, "baseline") for name in self.names]
+            + [(name, n, "hybrid") for name in self.names for n in (2, 4)]
+        )
         return {
             name: {
                 n: self.speedup(name, n, "hybrid")
@@ -153,6 +333,7 @@ class ExperimentRunner:
 
     def fig14_mode_time(self, n_cores: int = 4) -> Dict[str, Dict[str, float]]:
         """Figure 14: fraction of hybrid execution spent in each mode."""
+        self.prefetch([(name, n_cores, "hybrid") for name in self.names])
         table = {}
         for name in self.names:
             stats = self.run(name, n_cores, "hybrid").stats
@@ -170,6 +351,14 @@ class ExperimentRunner:
         single-strategy compilation; the region's serial-time fraction is
         attributed to the type that ran it fastest (or to "single core"
         when no strategy beats the baseline)."""
+        self.prefetch(
+            [(name, 1, "baseline") for name in self.names]
+            + [
+                (name, n_cores, strategy)
+                for name in self.names
+                for strategy in SINGLE_STRATEGIES
+            ]
+        )
         table: Dict[str, Dict[str, float]] = {}
         for name in self.names:
             base = self.baseline(name)

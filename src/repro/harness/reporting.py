@@ -41,6 +41,18 @@ def render_table(
     return "\n".join(lines)
 
 
+def render_cache_line(runner) -> str:
+    """The harness's cache-traffic line: hits/misses and the cache root,
+    or an explicit marker when caching is off (``--no-cache``)."""
+    cache = getattr(runner, "cache", None)
+    if cache is None:
+        return "cache     : disabled"
+    return (
+        f"cache     : {cache.hits} hit(s), {cache.misses} miss(es) "
+        f"in {cache.root}"
+    )
+
+
 def render_bar_breakdown(
     title: str,
     rows: Mapping[str, Mapping[str, float]],

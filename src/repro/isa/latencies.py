@@ -83,6 +83,15 @@ def latency_of(opcode: Opcode) -> int:
     return DEFAULT_LATENCIES[opcode]
 
 
+def resolved_latencies() -> Dict[Opcode, int]:
+    """A snapshot of the full opcode->latency table.
+
+    The simulator's dispatch-table builder pre-resolves each opcode's
+    latency through this at machine-construction time, so the per-cycle
+    execute path never consults the table again."""
+    return dict(DEFAULT_LATENCIES)
+
+
 def scheduling_latency(opcode: Opcode) -> int:
     """Latency the list scheduler plans for (loads assume an L1 hit)."""
     if opcode is Opcode.LOAD:

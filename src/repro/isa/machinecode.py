@@ -32,6 +32,15 @@ class CoreBlock:
     mode: str = "coupled"
     region: int = 0
     base_addr: int = 0
+    #: (function name, label) attribution key, filled in by the simulator's
+    #: pre-decode pass so per-cycle accounting never rebuilds the tuple.
+    stat_key: Optional[Tuple[str, str]] = None
+    #: (per-slot handlers, per-slot wire flags, per-slot register sources),
+    #: filled in by the simulator's pre-decode pass; one attribute load on
+    #: the issue path instead of a dictionary probe.  Handlers close only
+    #: over static latencies, so machines sharing a compiled program can
+    #: reuse each other's entries.
+    decoded: Optional[Tuple[tuple, tuple, tuple]] = None
 
     def __len__(self) -> int:
         return len(self.slots)

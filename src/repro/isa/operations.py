@@ -30,12 +30,25 @@ class RegFile(Enum):
     BTR = "b"  # branch-target registers
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Reg:
     """A virtual register.  Register allocation is per-core at runtime."""
 
     file: RegFile
     index: int
+
+    def __post_init__(self) -> None:
+        # Registers are hashed on every scoreboard probe and register-file
+        # access, so the hash is computed once up front.
+        object.__setattr__(self, "_hash", hash((self.file, self.index)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Reg):
+            return NotImplemented
+        return self.file is other.file and self.index == other.index
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:
         return f"{self.file.value}{self.index}"

@@ -49,17 +49,21 @@ class SetAssocCache:
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
+        # config.n_sets is a derived property; the array geometry is hot
+        # (every lookup computes index/tag from it), so snapshot it once.
+        self.n_sets = config.n_sets
+        self.associativity = config.associativity
         self.sets: List[Dict[int, CacheLine]] = [
-            {} for _ in range(config.n_sets)
+            {} for _ in range(self.n_sets)
         ]
         self._tick = itertools.count()
 
     def _index(self, line_addr: int) -> Tuple[int, int]:
-        return line_addr % self.config.n_sets, line_addr // self.config.n_sets
+        return line_addr % self.n_sets, line_addr // self.n_sets
 
     def lookup(self, line_addr: int) -> Optional[CacheLine]:
-        index, tag = self._index(line_addr)
-        line = self.sets[index].get(tag)
+        n_sets = self.n_sets
+        line = self.sets[line_addr % n_sets].get(line_addr // n_sets)
         if line is not None and line.state != INVALID:
             line.last_used = next(self._tick)
             return line
@@ -75,13 +79,13 @@ class SetAssocCache:
             existing.state = state
             existing.last_used = next(self._tick)
             return None
-        if len(cache_set) >= self.config.associativity:
+        if len(cache_set) >= self.associativity:
             victim_tag, victim = min(
                 cache_set.items(), key=lambda item: item[1].last_used
             )
             del cache_set[victim_tag]
             if victim.state != INVALID:
-                evicted = (victim_tag * self.config.n_sets + index, victim.state)
+                evicted = (victim_tag * self.n_sets + index, victim.state)
         cache_set[tag] = CacheLine(tag, state, next(self._tick))
         return evicted
 
@@ -138,18 +142,24 @@ class L1ICache:
     def __init__(self, config: CacheConfig) -> None:
         self.array = SetAssocCache(config)
         self.config = config
+        self.line_words = config.line_words
         self.hits = 0
         self.misses = 0
 
     def access(self, addr: int, l2: SharedL2, memory_latency: int) -> int:
         """Extra fetch cycles: 0 on a hit, L2/memory latency on a miss."""
-        line_addr = addr // self.config.line_words
-        if self.array.lookup(line_addr) is not None:
+        array = self.array
+        line_addr = addr // self.line_words
+        # Inlined array.lookup: one fetch per issued slot makes this the
+        # single hottest cache path in the simulator.
+        line = array.sets[line_addr % array.n_sets].get(line_addr // array.n_sets)
+        if line is not None and line.state != INVALID:
+            line.last_used = next(array._tick)
             self.hits += 1
             return 0
         self.misses += 1
         l2_hit = l2.access(line_addr)
-        self.array.insert(line_addr, SHARED)
+        array.insert(line_addr, SHARED)
         return l2.config.hit_latency if l2_hit else memory_latency
 
 
@@ -162,6 +172,10 @@ class SnoopBus:
             SetAssocCache(config.l1d) for _ in range(config.n_cores)
         ]
         self.l2 = SharedL2(config.l2, config.l2_banks)
+        # Snapshot the handful of latencies the access path reads on every
+        # load/store (two attribute hops through the frozen config tree).
+        self._line_words = config.l1d.line_words
+        self._hit_latency = config.l1d.hit_latency
         self.upgrade_latency = 2  # bus invalidate round
         self.invalidations = 0
         self.cache_to_cache = 0
@@ -170,10 +184,10 @@ class SnoopBus:
 
     def access(self, core: int, addr: int, is_store: bool) -> Tuple[int, bool]:
         """Perform a data access; returns (cycles, was_miss)."""
-        line_addr = addr // self.config.l1d.line_words
+        line_addr = addr // self._line_words
         l1 = self.l1ds[core]
         line = l1.lookup(line_addr)
-        hit_latency = self.config.l1d.hit_latency
+        hit_latency = self._hit_latency
 
         if line is not None:
             if not is_store:

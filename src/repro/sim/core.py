@@ -54,13 +54,20 @@ class Core:
         self.id = core_id
         self.regs = RegisterFile(core_id)
         self.stack: List[CoreFrame] = []
+        #: The top activation record, maintained by push/pop (read on every
+        #: fetch, scoreboard probe, and issue -- hot enough that a plain
+        #: attribute beats a ``stack[-1]`` property).
+        self.frame: Optional[CoreFrame] = None
         self.status = RUNNING
         self.stats = CoreStats()
         # Pipeline state.
         self.next_free = 0  # earliest cycle the core may issue
         self.pending_cause: Optional[str] = None  # stall cause until next_free
         self.reg_ready: Dict[Reg, int] = {}
-        self._fetched: Optional[Tuple[int, int]] = None  # (block id, slot)
+        # Last-fetched position, kept as two fields (block identity plus
+        # slot) so the per-cycle fetch probe never allocates a key tuple.
+        self._fetched_block: Optional[CoreBlock] = None
+        self._fetched_slot = -1
         # Fine-grain thread state.
         self.listen_return: Optional[Tuple[CoreBlock, int]] = None
         # Transaction state.
@@ -68,20 +75,18 @@ class Core:
 
     # -- call stack -------------------------------------------------------------
 
-    @property
-    def frame(self) -> CoreFrame:
-        return self.stack[-1]
-
     def push_frame(self, function: CoreFunction, return_dest: Optional[Reg]) -> None:
         entry = function.block(function.entry)
         self.stack.append(
             CoreFrame(function, entry, slot=0, return_dest=return_dest)
         )
-        self._fetched = None
+        self.frame = self.stack[-1]
+        self._fetched_block = None
 
     def pop_frame(self) -> CoreFrame:
         frame = self.stack.pop()
-        self._fetched = None
+        self.frame = self.stack[-1] if self.stack else None
+        self._fetched_block = None
         return frame
 
     @property
@@ -107,7 +112,7 @@ class Core:
         frame = self.frame
         frame.block = frame.function.block(label)
         frame.slot = 0
-        self._fetched = None
+        self._fetched_block = None
 
     def advance_slot(self) -> None:
         self.frame.slot += 1
@@ -124,11 +129,28 @@ class Core:
 
     def needs_fetch(self) -> bool:
         frame = self.frame
-        return self._fetched != (id(frame.block), frame.slot)
+        return (
+            self._fetched_block is not frame.block
+            or self._fetched_slot != frame.slot
+        )
+
+    def take_fetch(self) -> Optional[int]:
+        """Combined needs_fetch/fetch_addr/mark_fetched for the simulator's
+        hot fetch path: returns the slot's address when it still needs an
+        I-fetch (marking it fetched), or None when already fetched."""
+        frame = self.frame
+        block = frame.block
+        slot = frame.slot
+        if self._fetched_block is block and self._fetched_slot == slot:
+            return None
+        self._fetched_block = block
+        self._fetched_slot = slot
+        return block.base_addr + slot
 
     def mark_fetched(self) -> None:
         frame = self.frame
-        self._fetched = (id(frame.block), frame.slot)
+        self._fetched_block = frame.block
+        self._fetched_slot = frame.slot
 
     def fetch_addr(self) -> int:
         frame = self.frame

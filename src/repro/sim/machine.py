@@ -18,15 +18,41 @@ Orchestration responsibilities (paper Sections 3.2-3.3):
 * **Transactions** -- TX_BEGIN checkpoints registers (the compiler's
   register rollback) and opens a TM write buffer; TX_COMMIT enforces
   ordered commit and on conflict rolls the chunk back to its restart block.
+
+Execution engine
+----------------
+
+Two layers keep the cycle loop fast without changing any observable
+statistic:
+
+* **Pre-decoded dispatch.**  ``__init__`` builds a dispatch table mapping
+  each opcode to a handler closure with its result latency pre-resolved
+  from :mod:`repro.isa.latencies`, then walks every core's instruction
+  stream once, pre-decoding each block's slots into handler tuples.  The
+  per-cycle execute path is a single indexed lookup instead of a long
+  opcode if-chain plus a latency-table probe.
+
+* **Stall fast-forwarding.**  Whenever *every* live core is provably
+  blocked for the rest of the cycle -- cache-miss fills, RECV waits with
+  the matching message still in flight, barrier/commit waits -- the
+  machine computes each blocked core's release cycle, jumps the clock to
+  the earliest one, and bulk-credits the skipped cycles to exactly the
+  stall categories single-stepping would have recorded.
+  ``MachineStats.summary()`` is bit-identical either way (the
+  ``tests/properties/test_prop_fastpath.py`` differential suite enforces
+  this); pass ``fast_forward=False`` to force the reference single-step
+  kernel.  If every core is blocked and *no* release cycle exists, the
+  machine raises :class:`Deadlock` immediately instead of spinning to
+  ``max_cycles``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..arch.config import MachineConfig
 from ..arch.mesh import Mesh
-from ..isa.latencies import latency_of
+from ..isa.latencies import resolved_latencies
 from ..isa.machinecode import CompiledProgram
 from ..isa.operations import (
     ALU_SEMANTICS,
@@ -46,6 +72,16 @@ from .tm import TransactionalMemory
 
 #: Per-core instruction address spaces start here (clear of data addresses).
 ICODE_BASE = 1 << 24
+
+#: Dispatch-table entry: handler(machine, core, op) -> outcome string.
+Handler = Callable[["VoltronMachine", Core, Operation], str]
+
+#: Ops issued on the direct inter-core wires (coupled-mode phase A).
+#: Tuples, not sets: enum membership in a short tuple is an identity scan,
+#: while a set lookup pays a Python-level Enum.__hash__ call.
+_WIRE_OPS = (Opcode.PUT, Opcode.BCAST)
+#: Ops that enqueue onto the operand network (back-pressure checked).
+_QUEUE_SEND_OPS = (Opcode.SEND, Opcode.SPAWN, Opcode.RELEASE)
 
 
 class SimulatorError(Exception):
@@ -69,6 +105,7 @@ class VoltronMachine:
         config: MachineConfig,
         max_cycles: int = 20_000_000,
         args: Tuple[Value, ...] = (),
+        fast_forward: bool = True,
     ) -> None:
         if compiled.n_cores != config.n_cores:
             raise ValueError(
@@ -80,6 +117,7 @@ class VoltronMachine:
         self.compiled = compiled
         self.config = config
         self.max_cycles = max_cycles
+        self.fast_forward = fast_forward
 
         rows, cols = config.mesh_shape
         self.mesh = Mesh(rows, cols, config.n_cores)
@@ -108,9 +146,13 @@ class VoltronMachine:
         self.mode = "coupled"
         self._mode_next: Optional[str] = None
         self.cycle = 0
+        # HALTED is terminal, so a counter replaces the per-cycle
+        # every-core scan in the main loop's continuation test.
+        self._halted_count = 0
         self.return_value: Value = None
         # Optional tracing: callables invoked as fn(cycle, core_id, op)
-        # for every executed operation (kept empty in performance runs).
+        # for every executed operation (kept empty in performance runs;
+        # attaching one disables fast-forwarding so every cycle is visible).
         self.op_observers: List = []
         # Barriers: kind -> set of arrived core ids.
         self._barrier: Dict[str, Set[int]] = {}
@@ -127,43 +169,132 @@ class VoltronMachine:
             self.cores[i : i + size] for i in range(0, config.n_cores, size)
         ]
 
+        self._dispatch: Dict[Opcode, Handler] = build_dispatch_table()
+        self._memory_latency = config.memory_latency
+        self._predecode()
+
+    # -- pre-decode ----------------------------------------------------------------
+
+    def _predecode(self) -> None:
+        """Walk every core's instruction stream once, resolving each slot's
+        opcode to its dispatch-table handler, an is-direct-wire flag
+        (PUT/BCAST, issued in coupled phase A), and the tuple of register
+        sources the scoreboard must probe.  The results live on the block
+        itself (``CoreBlock.decoded``).  Unknown opcodes keep a None entry
+        and fail at execute time with the usual diagnostic."""
+        for stream in self.compiled.streams:
+            for function in stream.values():
+                for block in function.ordered_blocks():
+                    handlers = tuple(
+                        None
+                        if op is None
+                        else self._dispatch.get(op.opcode)
+                        for op in block.slots
+                    )
+                    wires = tuple(
+                        op is not None and op.opcode in _WIRE_OPS
+                        for op in block.slots
+                    )
+                    srcregs = tuple(
+                        ()
+                        if op is None
+                        else tuple(
+                            src for src in op.srcs if isinstance(src, Reg)
+                        )
+                        for op in block.slots
+                    )
+                    block.decoded = (handlers, wires, srcregs)
+                    # Attribution key for the per-cycle block accounting,
+                    # materialized once instead of per cycle.
+                    block.stat_key = (function.name, block.label)
+
     # -- public API ---------------------------------------------------------------
 
     def run(self) -> MachineStats:
-        while not self._all_halted():
-            if self.cycle >= self.max_cycles:
-                raise OutOfCycles(
-                    f"exceeded {self.max_cycles} cycles at state "
-                    f"{[repr(c) for c in self.cores]}"
+        cores = self.cores
+        core_stats = tuple(core.stats for core in cores)
+        block_cycles = self.stats.block_cycles
+        mode_cycles = self.stats.mode_cycles
+        master = cores[0]
+        # Mode residency and block attribution are accumulated in locals
+        # and flushed on change (blocks persist for many cycles), keeping
+        # two dictionary updates off the per-cycle path.  The fast-forward
+        # bulk credits write to the same dicts directly; both paths only
+        # ever add, so interleaving is safe.
+        mode_count = 0
+        block_key = None
+        block_count = 0
+        # Fast-forward is only attempted after a cycle in which no core
+        # issued (tracked by the busy tallies): progress cycles never pay
+        # for the classifier, and the first cycle of every stall window is
+        # single-stepped -- which credits it identically anyway.
+        stalled_prev = True
+        busy_total = sum(s.busy for s in core_stats)
+        try:
+            while not self._all_halted():
+                if self.cycle >= self.max_cycles:
+                    raise OutOfCycles(
+                        f"exceeded {self.max_cycles} cycles at state "
+                        f"{[repr(c) for c in cores]}"
+                    )
+                # Deadlock is only possible when every live core is
+                # listening; run the full probe lazily (core 0 is normally
+                # running, which rules a deadlock out on its own).
+                status0 = master.status
+                if status0 == HALTED or status0 == LISTENING:
+                    self._check_deadlock()
+                self.network.deliver(self.cycle)
+                self._restore_done_this_cycle = False
+                if self._deferred_release:
+                    for core_id in self._deferred_release:
+                        if cores[core_id].status == BARRIER_WAIT:
+                            cores[core_id].status = RUNNING
+                    self._deferred_release.clear()
+                if (
+                    self.fast_forward
+                    and stalled_prev
+                    and self._try_fast_forward()
+                ):
+                    continue
+                if self.mode == "coupled":
+                    for group in self.groups:
+                        self._step_group(group)
+                else:
+                    for core in cores:
+                        self._step_decoupled(core)
+                busy_now = 0
+                for stats in core_stats:
+                    busy_now += stats.busy
+                stalled_prev = busy_now == busy_total
+                busy_total = busy_now
+                mode_count += 1
+                key = master.frame.block.stat_key if master.stack else None
+                if key is not block_key:
+                    if block_count:
+                        block_cycles[block_key] = (
+                            block_cycles.get(block_key, 0) + block_count
+                        )
+                    block_key = key
+                    block_count = 0
+                if key is not None:
+                    block_count += 1
+                if self._mode_next is not None:
+                    mode_cycles[self.mode] += mode_count
+                    mode_count = 0
+                    if self._mode_next != self.mode:
+                        self.stats.mode_switches += 1
+                    self.mode = self._mode_next
+                    self._mode_next = None
+                self.cycle += 1
+        finally:
+            # Flush even when OutOfCycles/Deadlock propagates, so the
+            # stats reflect every completed cycle.
+            if mode_count:
+                mode_cycles[self.mode] += mode_count
+            if block_count:
+                block_cycles[block_key] = (
+                    block_cycles.get(block_key, 0) + block_count
                 )
-            self._check_deadlock()
-            self.network.deliver(self.cycle)
-            self._restore_done_this_cycle = False
-            if self._deferred_release:
-                for core_id in self._deferred_release:
-                    if self.cores[core_id].status == BARRIER_WAIT:
-                        self.cores[core_id].status = RUNNING
-                self._deferred_release.clear()
-            if self.mode == "coupled":
-                for group in self.groups:
-                    self._step_group(group)
-            else:
-                for core in self.cores:
-                    self._step_decoupled(core)
-            self.stats.mode_cycles[self.mode] += 1
-            master = self.cores[0]
-            if master.stack:
-                frame = master.frame
-                key = (frame.function.name, frame.block.label)
-                self.stats.block_cycles[key] = (
-                    self.stats.block_cycles.get(key, 0) + 1
-                )
-            if self._mode_next is not None:
-                if self._mode_next != self.mode:
-                    self.stats.mode_switches += 1
-                self.mode = self._mode_next
-                self._mode_next = None
-            self.cycle += 1
         self.stats.cycles = self.cycle
         self.stats.tx_commits = self.tm.commits
         self.stats.tx_aborts = self.tm.aborts
@@ -179,37 +310,198 @@ class VoltronMachine:
     # -- helpers -------------------------------------------------------------------
 
     def _all_halted(self) -> bool:
-        return all(core.status == HALTED for core in self.cores)
+        return self._halted_count >= len(self.cores)
 
     def _live_cores(self) -> List[Core]:
         return [core for core in self.cores if core.status != HALTED]
 
     def _check_deadlock(self) -> None:
-        live = self._live_cores()
-        if not live:
-            return
-        if (
-            all(core.status == LISTENING for core in live)
-            and self.network.quiescent()
-        ):
+        # Hot path: bail at the first live core that is not listening
+        # (normally core 0, immediately) without building any lists.
+        any_live = False
+        for core in self.cores:
+            status = core.status
+            if status != HALTED:
+                if status != LISTENING:
+                    return
+                any_live = True
+        if any_live and self.network.quiescent():
             raise Deadlock(
                 f"cycle {self.cycle}: every live core is listening and the "
                 "network is quiescent"
             )
 
+    # -- stall fast-forwarding ---------------------------------------------------
+
+    def _try_fast_forward(self) -> bool:
+        """If no core can make progress this cycle, jump the clock to the
+        earliest release cycle, crediting the skipped cycles to exactly
+        the stall categories per-cycle stepping would have recorded.
+
+        Returns True when the clock was advanced (the caller skips the
+        normal step for this iteration).  Conservative by construction:
+        any situation the classifier cannot prove to be a pure stall makes
+        it decline, so single-stepping remains the semantic reference.
+        """
+        if self.op_observers:
+            return False
+        cycle = self.cycle
+        # (stats, category) pairs to bulk-credit per skipped cycle.
+        credits: List[Tuple] = []
+        releases: List[int] = []
+        send_stalled = 0
+
+        if self.mode == "coupled":
+            for group in self.groups:
+                running = [c for c in group if c.status == RUNNING]
+                if not running:
+                    continue
+                blocked = [c for c in running if c.next_free > cycle]
+                if blocked:
+                    # Stall bus: attribution is constant until the first
+                    # blocked member's fill returns.
+                    group_cause = blocked[0].pending_cause or "latency"
+                    for core in running:
+                        if core.next_free > cycle:
+                            credits.append(
+                                (core.stats, core.pending_cause or "latency")
+                            )
+                        else:
+                            credits.append((core.stats, group_cause))
+                    releases.append(min(c.next_free for c in blocked))
+                    continue
+                # A free group falls through empty blocks / fetches / issues
+                # -- all state changes -- unless the scoreboard holds it.
+                if any(c.at_block_end() or c.needs_fetch() for c in running):
+                    return False
+                release: Optional[int] = None
+                for core in running:
+                    op = core.current_op()
+                    if op is None:
+                        continue
+                    for src in op.srcs:
+                        if isinstance(src, Reg):
+                            ready = core.reg_ready.get(src, 0)
+                            if ready > cycle and (
+                                release is None or ready > release
+                            ):
+                                release = ready
+                if release is None:
+                    return False  # every source ready: the group issues
+                # Lock-step scoreboard interlock: the group waits for the
+                # *last* source, stalling "latency" on every member.
+                for core in running:
+                    credits.append((core.stats, "latency"))
+                releases.append(release)
+        else:
+            for core in self.cores:
+                if core.status == HALTED:
+                    continue
+                if core.status == BARRIER_WAIT:
+                    cause = (
+                        "call_sync"
+                        if core.id in self._barrier.get("call", set())
+                        else "barrier"
+                    )
+                    credits.append((core.stats, cause))
+                    continue  # released by another core's arrival
+                if core.next_free > cycle:
+                    credits.append(
+                        (core.stats, core.pending_cause or "latency")
+                    )
+                    releases.append(core.next_free)
+                    continue
+                if core.status == LISTENING:
+                    arrival = self.network.next_control_arrival(core.id)
+                    if arrival is not None and arrival <= cycle:
+                        return False  # a control message is consumable now
+                    credits.append((core.stats, "idle"))
+                    if arrival is not None:
+                        releases.append(arrival)
+                    continue
+                # RUNNING and free: mirror _step_decoupled's check order.
+                if core.at_block_end() or core.needs_fetch():
+                    return False
+                op = core.current_op()
+                if op is None or op.opcode is Opcode.CALL:
+                    return False
+                if op.opcode is Opcode.TX_COMMIT and not self.tm.may_commit(
+                    core.id
+                ):
+                    credits.append((core.stats, "tx_wait"))
+                    continue  # released by an earlier chunk's commit
+                if op.opcode in _QUEUE_SEND_OPS:
+                    if not self.network.can_send(
+                        core.id, op.attrs["target_core"]
+                    ):
+                        credits.append((core.stats, "send"))
+                        send_stalled += 1
+                        continue  # released when the receiver drains
+                if not core.srcs_ready(op, cycle):
+                    release = max(
+                        core.reg_ready.get(src, 0)
+                        for src in op.srcs
+                        if isinstance(src, Reg)
+                        and core.reg_ready.get(src, 0) > cycle
+                    )
+                    credits.append((core.stats, "latency"))
+                    releases.append(release)
+                    continue
+                if op.opcode is Opcode.RECV:
+                    arrival = self.network.next_data_arrival(
+                        core.id,
+                        op.attrs["source_core"],
+                        op.attrs.get("tag"),
+                    )
+                    if arrival is not None and arrival <= cycle:
+                        return False  # the message is receivable now
+                    credits.append((core.stats, self._recv_category(op)))
+                    if arrival is not None:
+                        releases.append(arrival)
+                    continue
+                return False  # the core issues this cycle
+
+        if not credits:
+            return False  # nothing to account for: not a provable stall
+        if not releases:
+            # Every live core is blocked and nothing in the machine will
+            # ever release one: barrier arrivals, commits, sends, and
+            # control messages all require some core to issue first.
+            raise Deadlock(
+                f"cycle {self.cycle}: every core is blocked with no "
+                f"release cycle: {[repr(c) for c in self.cores]}"
+            )
+        target = min(min(releases), self.max_cycles)
+        skipped = target - cycle
+        if skipped <= 0:
+            return False
+        for stats, category in credits:
+            stats.stall(category, skipped)
+        self.network.send_stalls += send_stalled * skipped
+        self.stats.mode_cycles[self.mode] += skipped
+        master = self.cores[0]
+        if master.stack:
+            key = master.frame.block.stat_key
+            self.stats.block_cycles[key] = (
+                self.stats.block_cycles.get(key, 0) + skipped
+            )
+        self.cycle = target
+        return True
+
     # -- coupled (lock-step) stepping -------------------------------------------------
 
     def _step_group(self, group: List[Core]) -> None:
+        cycle = self.cycle
         running = [core for core in group if core.status == RUNNING]
         if not running:
             return
 
         # Stall bus: any blocked member stalls the whole group.
-        blocked = [core for core in running if core.next_free > self.cycle]
+        blocked = [core for core in running if core.next_free > cycle]
         if blocked:
             group_cause = blocked[0].pending_cause or "latency"
             for core in running:
-                if core.next_free > self.cycle:
+                if core.next_free > cycle:
                     core.stats.stall(core.pending_cause or "latency")
                 else:
                     core.stats.stall(group_cause)
@@ -217,82 +509,137 @@ class VoltronMachine:
 
         # Zero-length blocks (pure structure) fall through without cost.
         for core in running:
-            self._finish_block(core)
+            frame = core.frame
+            if frame.slot >= len(frame.block.slots):
+                self._finish_block(core)
         running = [core for core in running if core.status == RUNNING]
         if not running:
             return
-        self._assert_lockstep(running)
+        if len(running) > 1:
+            self._assert_lockstep(running)
 
         # Fetch phase: an I-miss on any core stalls the group.
         missed = False
         for core in running:
-            if core.needs_fetch():
+            addr = core.take_fetch()
+            if addr is not None:
                 extra = self.icaches[core.id].access(
-                    ICODE_BASE * (core.id + 1) + core.fetch_addr(),
+                    ICODE_BASE * (core.id + 1) + addr,
                     self.bus.l2,
-                    self.config.memory_latency,
+                    self._memory_latency,
                 )
-                core.mark_fetched()
                 if extra:
                     core.stats.l1i_misses += 1
-                    core.block_until(self.cycle + 1 + extra, "istall")
+                    core.block_until(cycle + 1 + extra, "istall")
                     missed = True
         if missed:
             for core in running:
                 core.stats.stall("istall")
             return
 
-        # Scoreboard phase: lock-step means one unready core stalls all.
+        # Decode once per core per cycle (op, handler, wire flag, register
+        # sources pulled from the pre-decoded block); the issue phases
+        # reuse the entries (PUT/BCAST leave the frame untouched, so they
+        # stay valid).
+        issue = []
         for core in running:
-            op = core.current_op()
-            if op is not None and not core.srcs_ready(op, self.cycle):
-                for member in running:
-                    member.stats.stall("latency")
-                return
+            frame = core.frame
+            slot = frame.slot
+            op = frame.block.slots[slot]
+            if op is None:
+                issue.append((core, None, None, False, ()))
+                continue
+            entry = frame.block.decoded
+            if entry is not None:
+                issue.append(
+                    (core, op, entry[0][slot], entry[1][slot], entry[2][slot])
+                )
+            else:  # a block assembled after construction: decode on the fly
+                issue.append(
+                    (
+                        core,
+                        op,
+                        self._dispatch.get(op.opcode),
+                        op.opcode in _WIRE_OPS,
+                        tuple(s for s in op.srcs if isinstance(s, Reg)),
+                    )
+                )
+
+        # Scoreboard phase: lock-step means one unready core stalls all.
+        for core, op, _, _, srcs in issue:
+            if srcs:
+                reg_ready = core.reg_ready
+                for src in srcs:
+                    if reg_ready.get(src, 0) > cycle:
+                        for member in running:
+                            member.stats.stall("latency")
+                        return
+
+        observed = bool(self.op_observers)
 
         # Issue phase A: drive the direct wires.
-        for core in running:
-            op = core.current_op()
-            if op is not None and op.opcode in (Opcode.PUT, Opcode.BCAST):
-                self._execute(core, op)
+        for core, op, handler, wire, _ in issue:
+            if wire:
+                if observed:
+                    self._execute(core, op)
+                else:
+                    handler(self, core, op)
                 core.stats.busy += 1
                 core.stats.ops_executed += 1
 
         # Issue phase B: everything else (GETs read the wires driven above).
-        for core in running:
-            op = core.current_op()
-            if op is not None and op.opcode in (Opcode.PUT, Opcode.BCAST):
+        for core, op, handler, wire, _ in issue:
+            if wire:
                 outcome = "ok"
             elif op is None:
                 core.stats.busy += 1
                 outcome = "ok"
             else:
-                outcome = self._execute(core, op)
+                if observed:
+                    outcome = self._execute(core, op)
+                elif handler is None:
+                    raise SimulatorError(f"unimplemented opcode {op.opcode!r}")
+                else:
+                    outcome = handler(self, core, op)
                 core.stats.busy += 1
                 core.stats.ops_executed += 1
                 if outcome == "stall":
                     raise SimulatorError(
-                        f"cycle {self.cycle}: {op!r} stalled in coupled mode "
+                        f"cycle {cycle}: {op!r} stalled in coupled mode "
                         f"on core {core.id}; the compiler must not place "
                         "queue-mode waits in coupled regions"
                     )
             if core.status != RUNNING:
                 continue
             if outcome == "ok":
-                core.advance_slot()
-                self._finish_block(core)
+                frame = core.frame
+                frame.slot += 1
+                if frame.slot >= len(frame.block.slots):
+                    self._finish_block(core)
 
     def _assert_lockstep(self, running: List[Core]) -> None:
-        positions = {core.position() for core in running}
-        if len(positions) > 1:
-            raise SimulatorError(
-                f"cycle {self.cycle}: coupled cores diverged: "
-                + ", ".join(repr(core) for core in running)
-            )
+        # Attribute compares instead of materializing position tuples:
+        # this invariant is checked every coupled cycle.
+        first = running[0].frame
+        slot = first.slot
+        label = first.block.label
+        function = first.function.name
+        for core in running:
+            frame = core.frame
+            if (
+                frame.slot != slot
+                or frame.block.label != label
+                or frame.function.name != function
+            ):
+                raise SimulatorError(
+                    f"cycle {self.cycle}: coupled cores diverged: "
+                    + ", ".join(repr(core) for core in running)
+                )
 
     # -- decoupled stepping --------------------------------------------------------
 
     def _step_decoupled(self, core: Core) -> None:
+        cycle = self.cycle
         if core.status == HALTED:
             return
         if core.status == BARRIER_WAIT:
@@ -301,7 +648,7 @@ class VoltronMachine:
             )
             core.stats.stall(cause)
             return
-        if core.next_free > self.cycle:
+        if core.next_free > cycle:
             core.stats.stall(core.pending_cause or "latency")
             return
         if core.status == LISTENING:
@@ -309,55 +656,80 @@ class VoltronMachine:
             return
 
         # Zero-length blocks (pure structure) fall through without cost.
-        self._finish_block(core)
-        if core.status != RUNNING:
-            return
+        frame = core.frame
+        if frame.slot >= len(frame.block.slots):
+            self._finish_block(core)
+            if core.status != RUNNING:
+                return
+            frame = core.frame
 
         # Fetch.
-        if core.needs_fetch():
+        addr = core.take_fetch()
+        if addr is not None:
             extra = self.icaches[core.id].access(
-                ICODE_BASE * (core.id + 1) + core.fetch_addr(),
+                ICODE_BASE * (core.id + 1) + addr,
                 self.bus.l2,
-                self.config.memory_latency,
+                self._memory_latency,
             )
-            core.mark_fetched()
             if extra:
                 core.stats.l1i_misses += 1
-                core.block_until(self.cycle + 1 + extra, "istall")
+                core.block_until(cycle + 1 + extra, "istall")
                 core.stats.stall("istall")
                 return
 
-        op = core.current_op()
+        slot = frame.slot
+        op = frame.block.slots[slot]
         if op is None:
             core.stats.busy += 1
-            core.advance_slot()
+            frame.slot = slot + 1
             self._finish_block(core)
             return
 
-        if op.opcode is Opcode.CALL:
+        opcode = op.opcode
+        if opcode is Opcode.CALL:
             self._arrive_call_barrier(core, op)
             return
-        if op.opcode is Opcode.TX_COMMIT and not self.tm.may_commit(core.id):
+        if opcode is Opcode.TX_COMMIT and not self.tm.may_commit(core.id):
             core.stats.stall("tx_wait")
             return
-        if op.opcode in (Opcode.SEND, Opcode.SPAWN, Opcode.RELEASE):
+        if opcode in _QUEUE_SEND_OPS:
             target = op.attrs["target_core"]
             if not self.network.can_send(core.id, target):
                 core.stats.stall("send")
                 self.network.send_stalls += 1
                 return
-        if not core.srcs_ready(op, self.cycle):
+        entry = frame.block.decoded
+        if entry is not None:
+            reg_ready = core.reg_ready
+            for src in entry[2][slot]:
+                if reg_ready.get(src, 0) > cycle:
+                    core.stats.stall("latency")
+                    return
+        elif not core.srcs_ready(op, cycle):
             core.stats.stall("latency")
             return
 
-        outcome = self._execute(core, op)
+        if self.op_observers:
+            outcome = self._execute(core, op)
+        else:
+            # Inlined _execute fast path (mirrors coupled-mode phase B).
+            handler = (
+                entry[0][slot]
+                if entry is not None
+                else self._dispatch.get(opcode)
+            )
+            if handler is None:
+                raise SimulatorError(f"unimplemented opcode {opcode!r}")
+            outcome = handler(self, core, op)
         if outcome == "stall":
             return  # stall already attributed (e.g. empty receive queue)
         core.stats.busy += 1
         core.stats.ops_executed += 1
         if core.status == RUNNING and outcome == "ok":
-            core.advance_slot()
-            self._finish_block(core)
+            frame = core.frame
+            frame.slot += 1
+            if frame.slot >= len(frame.block.slots):
+                self._finish_block(core)
 
     def _step_listening(self, core: Core) -> None:
         message = self.network.peek_control(core.id, self.cycle)
@@ -402,168 +774,18 @@ class VoltronMachine:
 
     def _execute(self, core: Core, op: Operation) -> str:
         """Execute one op; returns 'ok', 'redirect', or 'stall'."""
-        opcode = op.opcode
-        cycle = self.cycle
-        read = core.read_operand
         if self.op_observers:
             for observer in self.op_observers:
-                observer(cycle, core.id, op)
-
-        if opcode in ALU_SEMANTICS:
-            result = ALU_SEMANTICS[opcode](*map(read, op.srcs))
-            core.write_reg(op.dest, result, cycle + latency_of(opcode))
-            return "ok"
-        if opcode in COMPARISONS:
-            result = bool(COMPARISONS[opcode](*map(read, op.srcs)))
-            core.write_reg(op.dest, result, cycle + latency_of(opcode))
-            return "ok"
-        if opcode in (Opcode.MOV, Opcode.FMOV, Opcode.PMOV):
-            core.write_reg(op.dest, read(op.srcs[0]), cycle + 1)
-            return "ok"
-        if opcode is Opcode.ITOF:
-            core.write_reg(op.dest, float(read(op.srcs[0])), cycle + latency_of(opcode))
-            return "ok"
-        if opcode is Opcode.FTOI:
-            core.write_reg(op.dest, int(read(op.srcs[0])), cycle + latency_of(opcode))
-            return "ok"
-        if opcode is Opcode.PAND:
-            core.write_reg(
-                op.dest, bool(read(op.srcs[0]) and read(op.srcs[1])), cycle + 1
-            )
-            return "ok"
-        if opcode is Opcode.POR:
-            core.write_reg(
-                op.dest, bool(read(op.srcs[0]) or read(op.srcs[1])), cycle + 1
-            )
-            return "ok"
-        if opcode is Opcode.PNOT:
-            core.write_reg(op.dest, not read(op.srcs[0]), cycle + 1)
-            return "ok"
-        if opcode is Opcode.SELECT:
-            pred, a, b = map(read, op.srcs)
-            core.write_reg(op.dest, a if pred else b, cycle + 1)
-            return "ok"
-        if opcode is Opcode.LOAD:
-            return self._do_load(core, op)
-        if opcode is Opcode.STORE:
-            return self._do_store(core, op)
-        if opcode is Opcode.PBR:
-            core.write_reg(op.dest, op.attrs["target"], cycle + 1)
-            return "ok"
-        if opcode is Opcode.BR:
-            taken = len(op.srcs) == 1 or bool(read(op.srcs[1]))
-            if taken:
-                core.jump(read(op.srcs[0]))
-            else:
-                if core.frame.block.fall is None:
-                    raise SimulatorError(
-                        f"core {core.id} fell through a branch with no fall "
-                        f"edge in {core.frame.block.label}"
-                    )
-                core.jump(core.frame.block.fall)
-            return "redirect"
-        if opcode is Opcode.CALL:
-            self._do_call(core, op)
-            return "redirect"
-        if opcode is Opcode.RET:
-            return self._do_ret(core, op)
-        if opcode is Opcode.HALT:
-            if self.tm.in_transaction(core.id):
-                raise SimulatorError(f"core {core.id} halted inside a transaction")
-            core.status = HALTED
-            return "redirect"
-        if opcode is Opcode.NOP:
-            return "ok"
-        if opcode is Opcode.PUT:
-            self.network.direct.put(
-                core.id, op.attrs["direction"], read(op.srcs[0]), cycle
-            )
-            return "ok"
-        if opcode is Opcode.BCAST:
-            self.network.direct.bcast(core.id, read(op.srcs[0]), cycle)
-            return "ok"
-        if opcode is Opcode.GET:
-            value = self.network.direct.get(
-                core.id,
-                op.attrs["direction"],
-                cycle,
-                bcast_src=op.attrs.get("bcast_src"),
-            )
-            core.write_reg(op.dest, value, cycle + 1)
-            return "ok"
-        if opcode is Opcode.SEND:
-            self.network.send(
-                core.id,
-                op.attrs["target_core"],
-                read(op.srcs[0]),
-                cycle,
-                tag=op.attrs.get("tag"),
-            )
-            core.stats.messages_sent += 1
-            return "ok"
-        if opcode is Opcode.RECV:
-            message = self.network.try_receive(
-                core.id,
-                op.attrs["source_core"],
-                cycle,
-                tag=op.attrs.get("tag"),
-            )
-            if message is None:
-                core.stats.stall(self._recv_category(op))
-                return "stall"
-            if op.dests:
-                core.write_reg(op.dest, message.value, cycle + 1)
-            core.stats.messages_received += 1
-            return "ok"
-        if opcode is Opcode.SPAWN:
-            self.network.send(
-                core.id,
-                op.attrs["target_core"],
-                op.attrs["target_block"],
-                cycle,
-                kind="spawn",
-            )
-            self.stats.spawns += 1
-            return "ok"
-        if opcode is Opcode.RELEASE:
-            self.network.send(
-                core.id, op.attrs["target_core"], None, cycle, kind="release"
-            )
-            return "ok"
-        if opcode is Opcode.SLEEP:
-            assert core.listen_return is not None, "SLEEP outside a spawned thread"
-            block, slot = core.listen_return
-            core.frame.block = block
-            core.frame.slot = slot
-            core._fetched = None
-            core.status = LISTENING
-            return "redirect"
-        if opcode is Opcode.LISTEN:
-            core.listen_return = (core.frame.block, core.frame.slot)
-            core.status = LISTENING
-            return "redirect"
-        if opcode is Opcode.MODE_SWITCH:
-            return self._do_mode_switch(core, op)
-        if opcode is Opcode.TX_BEGIN:
-            self.tm.begin(
-                core.id,
-                op.attrs["region"],
-                op.attrs["order"],
-                op.attrs.get("chunks", 0),
-            )
-            core.checkpoint_registers(op.attrs["restart"])
-            return "ok"
-        if opcode is Opcode.TX_COMMIT:
-            if self.tm.try_commit(core.id):
-                core.block_until(
-                    cycle + 1 + self.config.tm_commit_latency, "tx_wait"
-                )
-                core.tx_checkpoint = None
-                return "ok"
-            restart = core.rollback_registers()
-            core.jump(restart)
-            return "redirect"
-        raise SimulatorError(f"unimplemented opcode {opcode!r}")
+                observer(self.cycle, core.id, op)
+        frame = core.frame
+        entry = frame.block.decoded
+        if entry is not None:
+            handler = entry[0][frame.slot]
+        else:  # a block assembled after construction: decode on the fly
+            handler = self._dispatch.get(op.opcode)
+        if handler is None:
+            raise SimulatorError(f"unimplemented opcode {op.opcode!r}")
+        return handler(self, core, op)
 
     @staticmethod
     def _recv_category(op: Operation) -> str:
@@ -597,6 +819,24 @@ class VoltronMachine:
             core.block_until(self.cycle + 1 + cycles, "dstall")
         return "ok"
 
+    def _do_branch(self, core: Core, op: Operation) -> str:
+        read = core.read_operand
+        taken = len(op.srcs) == 1 or bool(read(op.srcs[1]))
+        if taken:
+            core.jump(read(op.srcs[0]))
+        else:
+            if core.frame.block.fall is None:
+                raise SimulatorError(
+                    f"core {core.id} fell through a branch with no fall "
+                    f"edge in {core.frame.block.label}"
+                )
+            core.jump(core.frame.block.fall)
+        return "redirect"
+
+    def _do_call_op(self, core: Core, op: Operation) -> str:
+        self._do_call(core, op)
+        return "redirect"
+
     def _do_call(self, core: Core, op: Operation) -> None:
         callee = self.compiled.core_function(core.id, op.attrs["function"])
         # Copy arguments into the callee's formal registers on this core.
@@ -612,6 +852,7 @@ class VoltronMachine:
         finished = core.pop_frame()
         if not core.stack:
             core.status = HALTED
+            self._halted_count += 1
             if core.id == 0:
                 self.return_value = value
             return "redirect"
@@ -626,6 +867,114 @@ class VoltronMachine:
             self._mode_next = mode
             self._restore_done_this_cycle = True
         self._finish_block(core)
+        return "redirect"
+
+    def _do_halt(self, core: Core, op: Operation) -> str:
+        if self.tm.in_transaction(core.id):
+            raise SimulatorError(f"core {core.id} halted inside a transaction")
+        core.status = HALTED
+        self._halted_count += 1
+        return "redirect"
+
+    def _do_put(self, core: Core, op: Operation) -> str:
+        self.network.direct.put(
+            core.id, op.attrs["direction"], core.read_operand(op.srcs[0]),
+            self.cycle,
+        )
+        return "ok"
+
+    def _do_bcast(self, core: Core, op: Operation) -> str:
+        self.network.direct.bcast(
+            core.id, core.read_operand(op.srcs[0]), self.cycle
+        )
+        return "ok"
+
+    def _do_get(self, core: Core, op: Operation) -> str:
+        value = self.network.direct.get(
+            core.id,
+            op.attrs["direction"],
+            self.cycle,
+            bcast_src=op.attrs.get("bcast_src"),
+        )
+        core.write_reg(op.dest, value, self.cycle + 1)
+        return "ok"
+
+    def _do_send(self, core: Core, op: Operation) -> str:
+        self.network.send(
+            core.id,
+            op.attrs["target_core"],
+            core.read_operand(op.srcs[0]),
+            self.cycle,
+            tag=op.attrs.get("tag"),
+        )
+        core.stats.messages_sent += 1
+        return "ok"
+
+    def _do_recv(self, core: Core, op: Operation) -> str:
+        message = self.network.try_receive(
+            core.id,
+            op.attrs["source_core"],
+            self.cycle,
+            tag=op.attrs.get("tag"),
+        )
+        if message is None:
+            core.stats.stall(self._recv_category(op))
+            return "stall"
+        if op.dests:
+            core.write_reg(op.dest, message.value, self.cycle + 1)
+        core.stats.messages_received += 1
+        return "ok"
+
+    def _do_spawn(self, core: Core, op: Operation) -> str:
+        self.network.send(
+            core.id,
+            op.attrs["target_core"],
+            op.attrs["target_block"],
+            self.cycle,
+            kind="spawn",
+        )
+        self.stats.spawns += 1
+        return "ok"
+
+    def _do_release(self, core: Core, op: Operation) -> str:
+        self.network.send(
+            core.id, op.attrs["target_core"], None, self.cycle, kind="release"
+        )
+        return "ok"
+
+    def _do_sleep(self, core: Core, op: Operation) -> str:
+        assert core.listen_return is not None, "SLEEP outside a spawned thread"
+        block, slot = core.listen_return
+        core.frame.block = block
+        core.frame.slot = slot
+        core._fetched = None
+        core.status = LISTENING
+        return "redirect"
+
+    def _do_listen(self, core: Core, op: Operation) -> str:
+        core.listen_return = (core.frame.block, core.frame.slot)
+        core.status = LISTENING
+        return "redirect"
+
+    def _do_tx_begin(self, core: Core, op: Operation) -> str:
+        self.tm.begin(
+            core.id,
+            op.attrs["region"],
+            op.attrs["order"],
+            op.attrs.get("chunks", 0),
+        )
+        core.checkpoint_registers(op.attrs["restart"])
+        return "ok"
+
+    def _do_tx_commit(self, core: Core, op: Operation) -> str:
+        if self.tm.try_commit(core.id):
+            core.block_until(
+                self.cycle + 1 + self.config.tm_commit_latency, "tx_wait"
+            )
+            core.tx_checkpoint = None
+            return "ok"
+        restart = core.rollback_registers()
+        core.jump(restart)
         return "redirect"
 
     def _do_mode_switch(self, core: Core, op: Operation) -> str:
@@ -657,3 +1006,111 @@ class VoltronMachine:
                     f"core {core.id} ran off the end of block "
                     f"{core.frame.block.label} in {core.frame.function.name}"
                 )
+
+
+def build_dispatch_table() -> Dict[Opcode, Handler]:
+    """Build the opcode dispatch table: every handler closes over its
+    result latency (resolved once through :func:`resolved_latencies`), so
+    the execute path performs no opcode branching or latency lookups."""
+    latency = resolved_latencies()
+    table: Dict[Opcode, Handler] = {}
+
+    def alu_entry(fn, lat: int) -> Handler:
+        def run(machine, core, op, _fn=fn, _lat=lat):
+            core.write_reg(
+                op.dest,
+                _fn(*map(core.read_operand, op.srcs)),
+                machine.cycle + _lat,
+            )
+            return "ok"
+
+        return run
+
+    def cmp_entry(fn, lat: int) -> Handler:
+        def run(machine, core, op, _fn=fn, _lat=lat):
+            core.write_reg(
+                op.dest,
+                bool(_fn(*map(core.read_operand, op.srcs))),
+                machine.cycle + _lat,
+            )
+            return "ok"
+
+        return run
+
+    def convert_entry(convert, lat: int) -> Handler:
+        def run(machine, core, op, _cv=convert, _lat=lat):
+            core.write_reg(
+                op.dest, _cv(core.read_operand(op.srcs[0])), machine.cycle + _lat
+            )
+            return "ok"
+
+        return run
+
+    for opcode, fn in ALU_SEMANTICS.items():
+        table[opcode] = alu_entry(fn, latency[opcode])
+    for opcode, fn in COMPARISONS.items():
+        table[opcode] = cmp_entry(fn, latency[opcode])
+    for opcode in (Opcode.MOV, Opcode.FMOV, Opcode.PMOV):
+        table[opcode] = convert_entry(lambda v: v, latency[opcode])
+    table[Opcode.ITOF] = convert_entry(float, latency[Opcode.ITOF])
+    table[Opcode.FTOI] = convert_entry(int, latency[Opcode.FTOI])
+
+    def pand(machine, core, op):
+        read = core.read_operand
+        core.write_reg(
+            op.dest, bool(read(op.srcs[0]) and read(op.srcs[1])),
+            machine.cycle + 1,
+        )
+        return "ok"
+
+    def por(machine, core, op):
+        read = core.read_operand
+        core.write_reg(
+            op.dest, bool(read(op.srcs[0]) or read(op.srcs[1])),
+            machine.cycle + 1,
+        )
+        return "ok"
+
+    def pnot(machine, core, op):
+        core.write_reg(
+            op.dest, not core.read_operand(op.srcs[0]), machine.cycle + 1
+        )
+        return "ok"
+
+    def select(machine, core, op):
+        pred, a, b = map(core.read_operand, op.srcs)
+        core.write_reg(op.dest, a if pred else b, machine.cycle + 1)
+        return "ok"
+
+    def pbr(machine, core, op):
+        core.write_reg(op.dest, op.attrs["target"], machine.cycle + 1)
+        return "ok"
+
+    def nop(machine, core, op):
+        return "ok"
+
+    table[Opcode.PAND] = pand
+    table[Opcode.POR] = por
+    table[Opcode.PNOT] = pnot
+    table[Opcode.SELECT] = select
+    table[Opcode.PBR] = pbr
+    table[Opcode.NOP] = nop
+    table[Opcode.LOAD] = VoltronMachine._do_load
+    table[Opcode.STORE] = VoltronMachine._do_store
+    table[Opcode.BR] = VoltronMachine._do_branch
+    table[Opcode.CALL] = VoltronMachine._do_call_op
+    table[Opcode.RET] = VoltronMachine._do_ret
+    table[Opcode.HALT] = VoltronMachine._do_halt
+    table[Opcode.PUT] = VoltronMachine._do_put
+    table[Opcode.BCAST] = VoltronMachine._do_bcast
+    table[Opcode.GET] = VoltronMachine._do_get
+    table[Opcode.SEND] = VoltronMachine._do_send
+    table[Opcode.RECV] = VoltronMachine._do_recv
+    table[Opcode.SPAWN] = VoltronMachine._do_spawn
+    table[Opcode.RELEASE] = VoltronMachine._do_release
+    table[Opcode.SLEEP] = VoltronMachine._do_sleep
+    table[Opcode.LISTEN] = VoltronMachine._do_listen
+    table[Opcode.MODE_SWITCH] = VoltronMachine._do_mode_switch
+    table[Opcode.TX_BEGIN] = VoltronMachine._do_tx_begin
+    table[Opcode.TX_COMMIT] = VoltronMachine._do_tx_commit
+    return table

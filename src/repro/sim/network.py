@@ -42,6 +42,10 @@ class Message:
     #: prologue message, so they must not share FIFO order with ordinary
     #: transfers from the same sender (RAW-style static channels).
     tag: object = None
+    #: Send serial number.  Delivery is ordered by (ready_cycle, seq) so a
+    #: bulk deliver after a fast-forwarded stall window lands messages in
+    #: exactly the order per-cycle delivery would have.
+    seq: int = 0
 
 
 class DirectWires:
@@ -122,6 +126,7 @@ class OperandNetwork:
         # flooding sender from head-of-line-blocking another sender's
         # messages out of the receive CAM.
         self._outstanding: Dict[Tuple[int, int], int] = {}
+        self._seq = 0
         self.messages_delivered = 0
         self.send_stalls = 0
         self.total_message_latency = 0
@@ -158,6 +163,7 @@ class OperandNetwork:
             + self.config.queue_entry_cycles
             + hops * self.config.queue_cycles_per_hop
         )
+        self._seq += 1
         self._in_flight.append(
             Message(
                 src=src,
@@ -166,22 +172,28 @@ class OperandNetwork:
                 kind=kind,
                 ready_cycle=arrival,
                 tag=tag,
+                seq=self._seq,
             )
         )
 
     def deliver(self, cycle: int) -> None:
         """Move arrived messages into receive queues (per-pair credits bound
-        the queue population, so arrival is never refused)."""
+        the queue population, so arrival is never refused).
+
+        Arrivals land ordered by (ready_cycle, seq): with per-cycle
+        delivery that is the natural append order, and it keeps a bulk
+        deliver after a fast-forwarded stall window bit-identical to
+        delivering cycle by cycle.
+        """
         if not self._in_flight:
             return
-        still_flying: List[Message] = []
-        # Preserve per-(src,dst) FIFO order: in-flight list is append-ordered.
-        for message in self._in_flight:
-            if message.ready_cycle <= cycle:
-                self.receive_queues[message.dst].append(message)
-            else:
-                still_flying.append(message)
-        self._in_flight = still_flying
+        matured = [m for m in self._in_flight if m.ready_cycle <= cycle]
+        if not matured:
+            return
+        self._in_flight = [m for m in self._in_flight if m.ready_cycle > cycle]
+        matured.sort(key=lambda m: (m.ready_cycle, m.seq))
+        for message in matured:
+            self.receive_queues[message.dst].append(message)
 
     def try_receive(
         self,
@@ -225,6 +237,51 @@ class OperandNetwork:
     def _release_credit(self, message: Message) -> None:
         key = (message.src, message.dst)
         self._outstanding[key] = self._outstanding.get(key, 1) - 1
+
+    def next_data_arrival(
+        self, core: int, src: int, tag: object = None
+    ) -> Optional[int]:
+        """Earliest ready_cycle of a data message matching a RECV on
+        ``core`` from ``src`` with ``tag`` -- queued or still in flight --
+        or None when no such message exists anywhere in the network.  Used
+        by the fast-forward kernel to compute a blocked RECV's release."""
+        best: Optional[int] = None
+        for message in self.receive_queues[core]:
+            if (
+                message.kind == "data"
+                and message.src == src
+                and message.tag == tag
+                and (best is None or message.ready_cycle < best)
+            ):
+                best = message.ready_cycle
+        for message in self._in_flight:
+            if (
+                message.dst == core
+                and message.kind == "data"
+                and message.src == src
+                and message.tag == tag
+                and (best is None or message.ready_cycle < best)
+            ):
+                best = message.ready_cycle
+        return best
+
+    def next_control_arrival(self, core: int) -> Optional[int]:
+        """Earliest ready_cycle of a spawn/release message for a listening
+        ``core`` (queued or in flight), or None when there is none."""
+        best: Optional[int] = None
+        for message in self.receive_queues[core]:
+            if message.kind in ("spawn", "release") and (
+                best is None or message.ready_cycle < best
+            ):
+                best = message.ready_cycle
+        for message in self._in_flight:
+            if (
+                message.dst == core
+                and message.kind in ("spawn", "release")
+                and (best is None or message.ready_cycle < best)
+            ):
+                best = message.ready_cycle
+        return best
 
     def pending_for(self, core: int) -> int:
         return len(self.receive_queues[core]) + sum(

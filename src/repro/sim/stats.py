@@ -50,11 +50,37 @@ class CoreStats:
     messages_received: int = 0
 
     def stall(self, category: str, cycles: int = 1) -> None:
-        self.stalls[category] += cycles
+        try:
+            self.stalls[category] += cycles
+        except KeyError:
+            raise ValueError(
+                f"unknown stall category {category!r}; expected one of "
+                f"{STALL_CATEGORIES}"
+            ) from None
 
     @property
     def total_stalls(self) -> int:
         return sum(self.stalls.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "busy": self.busy,
+            "stalls": dict(self.stalls),
+            "ops_executed": self.ops_executed,
+            "loads": self.loads,
+            "stores": self.stores,
+            "l1d_misses": self.l1d_misses,
+            "l1i_misses": self.l1i_misses,
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CoreStats":
+        stats = cls(**{k: v for k, v in data.items() if k != "stalls"})
+        stats.stalls = {c: 0 for c in STALL_CATEGORIES}
+        stats.stalls.update(data["stalls"])
+        return stats
 
 
 @dataclass
@@ -108,3 +134,41 @@ class MachineStats:
                 for category in STALL_CATEGORIES
             },
         }
+
+    # -- (de)serialization for the on-disk experiment cache ------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dump round-tripping every field (tuple keys in
+        ``block_cycles`` become tab-joined strings)."""
+        return {
+            "n_cores": self.n_cores,
+            "cycles": self.cycles,
+            "mode_cycles": dict(self.mode_cycles),
+            "cores": [core.to_dict() for core in self.cores],
+            "tx_commits": self.tx_commits,
+            "tx_aborts": self.tx_aborts,
+            "spawns": self.spawns,
+            "mode_switches": self.mode_switches,
+            "block_cycles": {
+                f"{function}\t{label}": cycles
+                for (function, label), cycles in self.block_cycles.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MachineStats":
+        stats = cls(
+            n_cores=data["n_cores"],
+            cycles=data["cycles"],
+            mode_cycles=dict(data["mode_cycles"]),
+            cores=[CoreStats.from_dict(core) for core in data["cores"]],
+            tx_commits=data["tx_commits"],
+            tx_aborts=data["tx_aborts"],
+            spawns=data["spawns"],
+            mode_switches=data["mode_switches"],
+        )
+        stats.block_cycles = {
+            tuple(key.split("\t", 1)): cycles
+            for key, cycles in data["block_cycles"].items()
+        }
+        return stats

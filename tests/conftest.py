@@ -80,3 +80,18 @@ def assert_strategies_match_reference(
 @pytest.fixture
 def square_sum():
     return build_square_sum()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden machine-stats files under tests/sim/golden "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")

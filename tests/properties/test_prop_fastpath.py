@@ -1,0 +1,50 @@
+"""Differential lockdown for the stall fast-forwarding kernel.
+
+The simulator's fast path (pre-decoded dispatch plus stall fast-forward,
+see ``repro.sim.machine``) claims to be an *exact* acceleration: jumping
+the clock over a proven stall window must leave every statistic -- cycle
+counts, per-category stalls, mode residency, block attribution, network
+tallies -- bit-identical to stepping each cycle.  This suite enforces
+that claim over the entire workload suite at every (cores, strategy)
+cell the figures use, comparing full ``MachineStats.to_dict()`` payloads
+and the final memory image between a fast-forwarding run and a
+single-stepping run of the same compiled program.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import mesh, single_core
+from repro.compiler import VoltronCompiler
+from repro.sim import VoltronMachine
+from repro.workloads.suite import BENCHMARKS, build
+
+#: The figure matrix: serial baseline plus every parallel strategy at the
+#: paper's two machine sizes.
+CELLS = [(1, "baseline")] + [
+    (n_cores, strategy)
+    for n_cores in (2, 4)
+    for strategy in ("ilp", "tlp", "llp")
+]
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_fast_forward_is_bit_identical(name):
+    bench = build(name)
+    compiler = VoltronCompiler(bench.program)  # one profile for all cells
+    for n_cores, strategy in CELLS:
+        config = single_core() if n_cores == 1 else mesh(n_cores)
+        compiled = compiler.compile(strategy, config)
+        fast_machine = VoltronMachine(compiled, config, fast_forward=True)
+        fast = fast_machine.run().to_dict()
+        slow_machine = VoltronMachine(compiled, config, fast_forward=False)
+        slow = slow_machine.run().to_dict()
+        assert fast == slow, (
+            f"{name} [{n_cores}-core {strategy}]: fast-forwarded stats "
+            "diverged from single-stepped stats"
+        )
+        assert fast_machine.final_memory() == slow_machine.final_memory(), (
+            f"{name} [{n_cores}-core {strategy}]: fast-forwarded memory "
+            "image diverged from single-stepped memory image"
+        )

@@ -1,0 +1,58 @@
+"""Golden machine-statistics regression tests.
+
+Each case pins the complete ``MachineStats.to_dict()`` payload of one
+small benchmark cell to a JSON file under ``tests/sim/golden/``.  Any
+change to timing, stall attribution, mode residency, cache behaviour, or
+network accounting shows up as a golden diff -- deliberate model changes
+regenerate the files with::
+
+    PYTHONPATH=src python -m pytest tests/sim/test_golden_stats.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.arch import mesh, single_core
+from repro.compiler import compile_program
+from repro.sim import VoltronMachine
+from repro.workloads.suite import build
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Small, fast benchmarks covering serial, coupled, and decoupled modes.
+CASES = [
+    ("rawcaudio", 1, "baseline"),
+    ("gsmdecode", 2, "ilp"),
+    ("g721decode", 4, "tlp"),
+]
+
+
+def _stats_payload(name: str, n_cores: int, strategy: str) -> dict:
+    bench = build(name)
+    config = single_core() if n_cores == 1 else mesh(n_cores)
+    compiled = compile_program(bench.program, n_cores, strategy)
+    return VoltronMachine(compiled, config).run().to_dict()
+
+
+@pytest.mark.parametrize("name,n_cores,strategy", CASES)
+def test_stats_match_golden(name, n_cores, strategy, update_golden):
+    payload = _stats_payload(name, n_cores, strategy)
+    path = GOLDEN_DIR / f"{name}_{n_cores}cores_{strategy}.json"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden file {path.name}; run pytest with --update-golden "
+        "to create it"
+    )
+    golden = json.loads(path.read_text())
+    assert payload == golden, (
+        f"{name} [{n_cores}-core {strategy}] stats drifted from "
+        f"{path.name}; if the model change is intentional, regenerate "
+        "with --update-golden"
+    )

@@ -11,7 +11,7 @@ from repro.arch import four_core, single_core, two_core
 from repro.isa.machinecode import CompiledProgram, CoreBlock, CoreFunction
 from repro.isa.operations import Imm, Opcode, Reg, RegFile, make_op
 from repro.isa.program import Function, Program
-from repro.sim import Deadlock, SimulatorError, VoltronMachine
+from repro.sim import Deadlock, OutOfCycles, SimulatorError, VoltronMachine
 
 R = lambda i: Reg(RegFile.GPR, i)
 P = lambda i: Reg(RegFile.PR, i)
@@ -289,6 +289,75 @@ class TestModeSwitchAndThreads:
         compiled = assemble(2, blocks, modes={"park": "decoupled"})
         with pytest.raises(Deadlock):
             run(compiled, two_core())
+
+
+class TestTermination:
+    """OutOfCycles and Deadlock behaviour, with and without the stall
+    fast-forwarding kernel."""
+
+    def _nop_spin(self):
+        # A block of pure NOP padding that falls through to itself: the
+        # core issues every cycle and never halts.
+        return assemble(1, {0: [("spin", [None], None, "spin")]}, entry="spin")
+
+    def test_runaway_program_raises_out_of_cycles(self):
+        with pytest.raises(OutOfCycles):
+            run(self._nop_spin(), single_core(), max_cycles=200)
+
+    def test_out_of_cycles_fires_at_same_cycle_with_fast_forward(self):
+        # The spin issues every cycle, so fast-forwarding never engages
+        # and both modes must give up at exactly the same cycle.
+        cycles = []
+        for fast_forward in (True, False):
+            machine = VoltronMachine(
+                self._nop_spin(),
+                single_core(),
+                max_cycles=200,
+                fast_forward=fast_forward,
+            )
+            with pytest.raises(OutOfCycles):
+                machine.run()
+            cycles.append(machine.cycle)
+        assert cycles[0] == cycles[1] == 200
+
+    def _cross_recv(self):
+        # Two decoupled cores each RECV from the other with nothing in
+        # flight: every core is blocked and no release cycle exists.
+        blocks = {
+            0: [
+                ("entry", [op(Opcode.MODE_SWITCH, mode="decoupled", align=950)],
+                 None, "wait"),
+                ("wait", [op(Opcode.RECV, [R(0)], [], source_core=1)],
+                 None, None),
+            ],
+            1: [
+                ("entry", [op(Opcode.MODE_SWITCH, mode="decoupled", align=950)],
+                 None, "wait"),
+                ("wait", [op(Opcode.RECV, [R(0)], [], source_core=0)],
+                 None, None),
+            ],
+        }
+        return assemble(2, blocks, modes={"wait": "decoupled"})
+
+    def test_all_blocked_without_release_deadlocks_immediately(self):
+        # Under fast-forward the classifier proves there is no finite
+        # release cycle and raises Deadlock at the stall window itself
+        # rather than spinning the clock to max_cycles.
+        machine = VoltronMachine(self._cross_recv(), two_core(), fast_forward=True)
+        with pytest.raises(Deadlock):
+            machine.run()
+        # A couple hundred cycles to clear the mode switch, nowhere near
+        # the 20M-cycle default budget single-stepping would burn.
+        assert machine.cycle < 500
+
+    def test_all_blocked_without_release_exhausts_cycles_when_stepping(self):
+        # Single-stepping has no deadlock oracle for blocked RECVs: the
+        # same program burns the cycle budget instead.
+        machine = VoltronMachine(
+            self._cross_recv(), two_core(), max_cycles=300, fast_forward=False
+        )
+        with pytest.raises(OutOfCycles):
+            machine.run()
 
 
 class TestProgramArgs:

@@ -20,6 +20,18 @@ class TestCoreStats:
         assert stats.stalls["dstall"] == 6
         assert stats.total_stalls == 6
 
+    def test_unknown_category_rejected(self):
+        stats = CoreStats()
+        with pytest.raises(ValueError, match="unknown stall category"):
+            stats.stall("bogus")
+        # The error message should name the legal categories so a typo'd
+        # call site can be fixed without opening stats.py.
+        with pytest.raises(ValueError, match="istall"):
+            stats.stall("cache")
+        # A rejected category must not leave a partial entry behind.
+        assert set(stats.stalls) == set(STALL_CATEGORIES)
+        assert stats.total_stalls == 0
+
 
 class TestMachineStats:
     def test_per_core_containers_created(self):
@@ -43,6 +55,20 @@ class TestMachineStats:
         summary = MachineStats(n_cores=2).summary()
         for category in STALL_CATEGORIES:
             assert f"stall_{category}" in summary
+
+    def test_summary_stall_keys_sync_with_categories(self):
+        """summary() and STALL_CATEGORIES must stay in lock-step: adding a
+        category without surfacing it (or vice versa) is a silent
+        reporting bug, so compare the *exact* sets."""
+        summary = MachineStats(n_cores=2).summary()
+        stall_keys = {key for key in summary if key.startswith("stall_")}
+        assert stall_keys == {f"stall_{c}" for c in STALL_CATEGORIES}
+
+    def test_summary_reports_mean_stalls(self):
+        stats = MachineStats(n_cores=2)
+        stats.cores[0].stall("barrier", 8)
+        stats.cores[1].stall("barrier", 4)
+        assert stats.summary()["stall_barrier"] == 6.0
 
 
 def _core_with_block(slots, label="entry"):
