@@ -1,18 +1,33 @@
 """Experiment harness regenerating the paper's figures."""
 
-from .cache import ResultCache, cache_key, program_fingerprint, reference_key
+from .cache import (
+    CACHE_VERSION,
+    ResultCache,
+    cache_key,
+    program_fingerprint,
+    reference_key,
+)
 from .experiments import (
     ExperimentRunner,
+    FailureSummary,
     RunResult,
     SINGLE_STRATEGIES,
     arithmean,
     geomean,
 )
-from .reporting import render_bar_breakdown, render_cache_line, render_table
+from .reporting import (
+    render_bar_breakdown,
+    render_cache_line,
+    render_failure_line,
+    render_fault_line,
+    render_table,
+)
 from .trace import TraceEvent, Tracer
 
 __all__ = [
+    "CACHE_VERSION",
     "ExperimentRunner",
+    "FailureSummary",
     "ResultCache",
     "RunResult",
     "SINGLE_STRATEGIES",
@@ -23,6 +38,8 @@ __all__ = [
     "reference_key",
     "render_bar_breakdown",
     "render_cache_line",
+    "render_failure_line",
+    "render_fault_line",
     "render_table",
     "TraceEvent",
     "Tracer",

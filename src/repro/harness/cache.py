@@ -12,7 +12,11 @@ share one cache.
 
 Each entry is one JSON file ``<key>.json`` under the cache root, written
 atomically (temp file + rename) so concurrent workers never observe a
-torn entry.
+torn entry.  Entries are wrapped in a ``{"cache_version", "payload"}``
+envelope; a read that finds anything else -- truncated JSON, a raw
+payload from an older layout, the wrong version -- is a *miss*, never an
+exception, and the offending file is quarantined (renamed to
+``<name>.corrupt``) so it cannot poison the next probe.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from ..arch.config import MachineConfig
 from ..isa.program import Program
 
 #: Bump when the cached payload layout changes: old entries simply miss.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 
 def program_fingerprint(program: Program) -> str:
@@ -59,15 +63,20 @@ def cache_key(
     seed: int,
     strategy: str,
     max_cycles: int,
+    extra: str = "",
 ) -> str:
     """sha256 over the full run fingerprint.  ``MachineConfig`` is a frozen
-    dataclass tree, so its repr is a complete, stable rendering."""
+    dataclass tree, so its repr is a complete, stable rendering.  ``extra``
+    folds in any additional run-shaping state (e.g. a fault-injection
+    configuration) so perturbed runs never share entries with clean ones."""
     digest = hashlib.sha256()
     digest.update(f"v{CACHE_VERSION}\n".encode())
     digest.update(program_fingerprint(program).encode())
     digest.update(f"\nconfig {config!r}".encode())
     digest.update(f"\nseed {seed} strategy {strategy} "
                   f"max_cycles {max_cycles}".encode())
+    if extra:
+        digest.update(f"\n{extra}".encode())
     return digest.hexdigest()
 
 
@@ -87,6 +96,7 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -95,21 +105,39 @@ class ResultCache:
         path = self._path(key)
         try:
             with open(path) as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+                envelope = json.load(handle)
+        except FileNotFoundError:
             self.misses += 1
             return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # Truncated/garbled entry (a worker killed mid-write before the
+            # atomic rename existed, disk trouble, manual tampering): treat
+            # as a miss and move the file aside so it never re-offends.
+            self.misses += 1
+            self._quarantine(path)
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("cache_version") != CACHE_VERSION
+            or "payload" not in envelope
+        ):
+            # Parseable but not ours: raw pre-envelope payloads, foreign
+            # JSON, or an entry from a different CACHE_VERSION.
+            self.misses += 1
+            self._quarantine(path)
+            return None
         self.hits += 1
-        return payload
+        return envelope["payload"]
 
     def store(self, key: str, payload: Dict[str, Any]) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
+        envelope = {"cache_version": CACHE_VERSION, "payload": payload}
         # Atomic publish: a concurrent reader sees the old entry or the
         # new one, never a partial write.
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
+                json.dump(envelope, handle)
             os.replace(tmp, self._path(key))
         except BaseException:
             try:
@@ -117,3 +145,16 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def _quarantine(self, path: Path) -> None:
+        """Rename a bad entry to ``<name>.corrupt`` (unlink if the rename
+        itself fails); quarantine never raises -- a cache problem must
+        degrade to a miss, not kill the experiment."""
+        self.quarantined += 1
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass

@@ -10,7 +10,13 @@ Simulation results are cached on disk (``.repro-cache/`` by default, keyed
 by a content hash of program + config + seed) so a repeated figure run is
 nearly free; pass ``--no-cache`` to force fresh simulations.  ``--jobs N``
 fans independent (benchmark, cores, strategy) cells out over N worker
-processes.
+processes; ``--cell-timeout`` bounds each cell's wall-clock time on the
+pool (overdue or crashed cells are retried, then re-run serially).
+
+``--faults`` turns on deterministic fault injection (chaos mode): every
+simulation runs under a seeded fault plan (``--fault-seed``,
+``--fault-rate``) that perturbs timing while the harness still checks
+outputs against the reference interpreter.
 """
 
 from __future__ import annotations
@@ -19,10 +25,17 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from ..sim.faults import FaultConfig
 from ..sim.stats import STALL_CATEGORIES
 from ..workloads.suite import BENCHMARKS
 from .experiments import ExperimentRunner, SINGLE_STRATEGIES
-from .reporting import render_bar_breakdown, render_cache_line, render_table
+from .reporting import (
+    render_bar_breakdown,
+    render_cache_line,
+    render_failure_line,
+    render_fault_line,
+    render_table,
+)
 
 FIGURES = ("3", "7-9", "10", "11", "12", "13", "14")
 
@@ -46,13 +59,44 @@ def _add_runner_options(subparser: argparse.ArgumentParser) -> None:
         default=DEFAULT_CACHE_DIR,
         help=f"result cache directory (default {DEFAULT_CACHE_DIR})",
     )
+    subparser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per simulation cell on the worker pool "
+        "(overdue cells are retried, then run serially; default none)",
+    )
+    subparser.add_argument(
+        "--faults",
+        action="store_true",
+        help="run every simulation under deterministic fault injection "
+        "(chaos mode); outputs are still checked against the reference",
+    )
+    subparser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="fault-plan RNG seed (default 0); same seed => same faults",
+    )
+    subparser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.01,
+        help="per-event fault probability for --faults (default 0.01)",
+    )
 
 
 def _make_runner(args, benchmarks) -> ExperimentRunner:
+    fault_config = None
+    if args.faults:
+        fault_config = FaultConfig(seed=args.fault_seed, rate=args.fault_rate)
     return ExperimentRunner(
         benchmarks=benchmarks,
         cache_dir=None if args.no_cache else args.cache_dir,
         jobs=args.jobs,
+        cell_timeout=args.cell_timeout,
+        fault_config=fault_config,
     )
 
 
@@ -113,6 +157,10 @@ def _cmd_run(args, out) -> int:
           f"aborts; {stats.spawns} spawns", file=out)
     print("correct   : outputs match the reference interpreter", file=out)
     print(render_cache_line(runner), file=out)
+    fault_line = render_fault_line(runner)
+    if fault_line:
+        print(fault_line, file=out)
+    print(render_failure_line(runner), file=out)
     if args.stalls:
         for category in STALL_CATEGORIES:
             mean = stats.mean_stalls(category)
@@ -185,6 +233,10 @@ def _cmd_figure(args, out) -> int:
             file=out,
         )
     print(render_cache_line(runner), file=out)
+    fault_line = render_fault_line(runner)
+    if fault_line:
+        print(fault_line, file=out)
+    print(render_failure_line(runner), file=out)
     return 0
 
 

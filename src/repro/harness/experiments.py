@@ -13,12 +13,33 @@ Two optional layers speed up suite-scale experiments:
 * ``jobs > 1`` fans independent (benchmark, cores, strategy) cells out to
   a ``ProcessPoolExecutor``; every figure driver prefetches its cell list
   through the pool before assembling the table.
+
+The parallel path is hardened against a hostile environment: every worker
+task carries a wall-clock deadline (``cell_timeout`` per cell), overdue
+or crashed tasks are retried with exponential backoff up to ``retries``
+times, a broken pool (a worker killed by the OOM killer, a segfault, an
+``os._exit``) degrades the remaining work to an in-process serial re-run
+instead of aborting the figure, and everything that went wrong is
+tallied in a :class:`FailureSummary` the reporting layer renders.
+
+An optional :class:`~repro.sim.faults.FaultConfig` runs every simulation
+under deterministic fault injection (chaos mode).  The functional check
+against the reference interpreter still applies -- faults must perturb
+timing, never results -- so a chaos figure run doubles as a whole-suite
+differential test.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+import hashlib
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -26,6 +47,7 @@ from ..arch.config import MachineConfig, mesh, single_core
 from ..compiler.driver import VoltronCompiler
 from ..isa.interp import run_program
 from ..isa.registers import Value
+from ..sim.faults import FaultConfig, FaultPlan
 from ..sim.machine import VoltronMachine
 from ..sim.stats import MachineStats, STALL_CATEGORIES
 from ..workloads.suite import BENCHMARKS, Benchmark, build
@@ -83,6 +105,32 @@ def _config_for(n_cores: int) -> MachineConfig:
     return single_core() if n_cores == 1 else mesh(n_cores)
 
 
+@dataclass
+class FailureSummary:
+    """What went wrong (and was absorbed) during a hardened prefetch.
+
+    ``timed_out``/``retried``/``degraded`` hold human-readable cell or
+    benchmark labels; ``worker_crashes`` counts pool breakages.  A clean
+    run leaves every field empty -- ``any()`` gates the report line."""
+
+    timed_out: List[str] = field(default_factory=list)
+    retried: List[str] = field(default_factory=list)
+    degraded: List[str] = field(default_factory=list)
+    worker_crashes: int = 0
+
+    def any(self) -> bool:
+        return bool(
+            self.timed_out
+            or self.retried
+            or self.degraded
+            or self.worker_crashes
+        )
+
+
+def _cell_label(name: str, n_cores: int, strategy: str) -> str:
+    return f"{name}[{n_cores}-{strategy}]"
+
+
 def _run_cells_worker(spec: Tuple) -> List[Dict[str, object]]:
     """Pool worker: simulate one benchmark's cells in a fresh runner and
     hand the results back as plain dicts (JSON-safe, cheap to pickle).
@@ -90,12 +138,13 @@ def _run_cells_worker(spec: Tuple) -> List[Dict[str, object]]:
     compiler, and the reference-interpreter run are paid once per worker
     task instead of once per (cores, strategy) point.  Top-level so
     ProcessPoolExecutor can address it by qualified name."""
-    name, cells, seed, max_cycles, cache_dir = spec
+    name, cells, seed, max_cycles, cache_dir, fault_config = spec
     runner = ExperimentRunner(
         benchmarks=[name],
         seed=seed,
         max_cycles=max_cycles,
         cache_dir=cache_dir,
+        fault_config=fault_config,
     )
     return [
         runner.run(name, n_cores, strategy).to_dict()
@@ -113,6 +162,10 @@ class ExperimentRunner:
         max_cycles: int = 50_000_000,
         cache_dir: Optional[Union[str, Path]] = None,
         jobs: int = 1,
+        cell_timeout: Optional[float] = None,
+        retries: int = 2,
+        retry_backoff: float = 0.25,
+        fault_config: Optional[FaultConfig] = None,
     ) -> None:
         self.names = list(benchmarks) if benchmarks is not None else list(
             BENCHMARKS
@@ -120,8 +173,21 @@ class ExperimentRunner:
         self.seed = seed
         self.max_cycles = max_cycles
         self.jobs = max(1, jobs)
+        #: Wall-clock seconds each simulation cell may take on the pool
+        #: before its task is abandoned and retried (None = no deadline).
+        self.cell_timeout = cell_timeout
+        #: Pool rounds after the first before degrading to serial.
+        self.retries = max(0, retries)
+        #: Base of the exponential backoff slept between pool rounds.
+        self.retry_backoff = retry_backoff
+        self.fault_config = fault_config
+        #: Total injected perturbations across this runner's fault runs.
+        self.fault_injections = 0
+        self.failures = FailureSummary()
         self.cache = ResultCache(Path(cache_dir)) if cache_dir else None
         self._cache_dir = str(cache_dir) if cache_dir else None
+        #: The pool entry point; tests swap in crashing/hanging doubles.
+        self._worker_fn = _run_cells_worker
         self._built: Dict[str, Benchmark] = {}
         #: Cell -> content-hash key; the fingerprint render is not free,
         #: and every cell is keyed at least twice (probe + store).
@@ -170,9 +236,29 @@ class ExperimentRunner:
                 self.seed,
                 strategy,
                 self.max_cycles,
+                # FaultConfig is frozen, so its repr is a complete stable
+                # rendering; chaos runs never share entries with clean ones.
+                extra=(
+                    f"faults {self.fault_config!r}"
+                    if self.fault_config is not None
+                    else ""
+                ),
             )
             self._keys[cell] = key
         return key
+
+    def _fault_plan(self, name: str, n_cores: int, strategy: str) -> Optional[FaultPlan]:
+        """A fresh, deterministic plan for one cell: plans are stateful
+        (countdowns advance as they fire), so each simulation needs its
+        own, and the seed is decorrelated per cell so every cell sees a
+        different arrival pattern while staying reproducible."""
+        if self.fault_config is None:
+            return None
+        digest = hashlib.sha256(
+            f"{self.fault_config.seed}:{name}:{n_cores}:{strategy}".encode()
+        ).digest()
+        cell_seed = int.from_bytes(digest[:4], "big")
+        return FaultPlan(replace(self.fault_config, seed=cell_seed))
 
     def run(self, name: str, n_cores: int, strategy: str) -> RunResult:
         key = (name, n_cores, strategy)
@@ -196,14 +282,21 @@ class ExperimentRunner:
         bench = self.benchmark(name)
         config = _config_for(n_cores)
         compiled = self.compiler(name).compile(strategy, config)
-        machine = VoltronMachine(compiled, config, max_cycles=self.max_cycles)
+        plan = self._fault_plan(name, n_cores, strategy)
+        machine = VoltronMachine(
+            compiled, config, max_cycles=self.max_cycles, faults=plan
+        )
         stats = machine.run()
+        if plan is not None:
+            self.fault_injections += plan.injections()
         reference = self.reference_outputs(name)
         correct = all(
             machine.array_values(array) == values
             for array, values in reference.items()
         )
         if not correct:
+            # Under fault injection this is the determinism invariant
+            # breaking, not a data point -- fail loudly either way.
             raise AssertionError(
                 f"{name} [{n_cores}-core {strategy}] produced wrong output"
             )
@@ -222,49 +315,167 @@ class ExperimentRunner:
         """Populate the run memo for ``cells``, fanning cache misses out to
         a process pool when ``jobs > 1``.  Serial fallback otherwise -- the
         figure drivers call this unconditionally."""
-        pending: List[Cell] = []
-        seen = set()
-        for cell in cells:
-            if cell in self._runs or cell in seen:
-                continue
-            seen.add(cell)
-            name, n_cores, strategy = cell
-            if self.cache is not None:
-                # Resolve hits in-process (and count them here, where the
-                # reporting layer can see the tallies); only true misses
-                # are worth a worker.
-                payload = self.cache.load(self._cell_key(*cell))
-                if payload is not None:
-                    self._runs[cell] = RunResult.from_dict(payload)
-                    continue
-            pending.append(cell)
+        pending = self._resolve_cached(cells)
         if not pending:
             return
         if self.jobs == 1 or len({name for name, _, _ in pending}) == 1:
             # The cache was already probed above, so simulate directly
             # (run() would re-probe and double-count the miss).
             for cell in pending:
-                result = self._simulate(*cell)
-                if self.cache is not None:
-                    self.cache.store(self._cell_key(*cell), result.to_dict())
-                self._runs[cell] = result
+                self._run_uncached(cell)
             return
+        self._prefetch_parallel(pending)
+
+    # -- hardened parallel prefetch ---------------------------------------------
+
+    def _resolve_cached(self, cells: Sequence[Cell]) -> List[Cell]:
+        """Memoize every cached cell in-process (where the reporting layer
+        can see the hit/miss tallies) and return the true misses."""
+        pending: List[Cell] = []
+        seen = set()
+        for cell in cells:
+            if cell in self._runs or cell in seen:
+                continue
+            seen.add(cell)
+            if self.cache is not None:
+                payload = self.cache.load(self._cell_key(*cell))
+                if payload is not None:
+                    self._runs[cell] = RunResult.from_dict(payload)
+                    continue
+            pending.append(cell)
+        return pending
+
+    def _run_uncached(self, cell: Cell) -> None:
+        """Simulate one cell in-process and publish it to the cache."""
+        result = self._simulate(*cell)
+        if self.cache is not None:
+            self.cache.store(self._cell_key(*cell), result.to_dict())
+        self._runs[cell] = result
+
+    def _specs_for(self, cells: Sequence[Cell]) -> List[Tuple]:
         by_name: Dict[str, List[Tuple[int, str]]] = {}
-        for name, n_cores, strategy in pending:
+        for name, n_cores, strategy in cells:
             by_name.setdefault(name, []).append((n_cores, strategy))
-        specs = [
-            (name, cells, self.seed, self.max_cycles, self._cache_dir)
-            for name, cells in by_name.items()
+        return [
+            (
+                name,
+                name_cells,
+                self.seed,
+                self.max_cycles,
+                self._cache_dir,
+                self.fault_config,
+            )
+            for name, name_cells in by_name.items()
         ]
-        # Workers store their own results in the shared on-disk cache; the
-        # parent's miss tally was taken at probe time above.
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            for spec, payloads in zip(specs, pool.map(_run_cells_worker, specs)):
-                name = spec[0]
-                for (n_cores, strategy), payload in zip(spec[1], payloads):
-                    self._runs[(name, n_cores, strategy)] = (
-                        RunResult.from_dict(payload)
+
+    def _prefetch_parallel(self, pending: List[Cell]) -> None:
+        """Fan ``pending`` out to worker processes, surviving hangs and
+        crashes: each pool round enforces per-task deadlines, overdue
+        tasks are retried in the next round after an exponential backoff,
+        and once ``retries`` rounds are spent (or the pool breaks) the
+        leftovers run serially in-process -- slower, never wrong."""
+        for round_index in range(self.retries + 1):
+            if round_index:
+                time.sleep(self.retry_backoff * (2 ** (round_index - 1)))
+                self.failures.retried.extend(
+                    _cell_label(*cell) for cell in pending
+                )
+            leftovers = self._pool_round(self._specs_for(pending))
+            if not leftovers:
+                return
+            # A timed-out worker may still have finished the store before
+            # we stopped waiting; the cache probe rescues those cells.
+            pending = self._resolve_cached(
+                [
+                    (name, n_cores, strategy)
+                    for name, name_cells, *_ in leftovers
+                    for n_cores, strategy in name_cells
+                ]
+            )
+            if not pending:
+                return
+        for cell in pending:
+            self.failures.degraded.append(_cell_label(*cell))
+            self._run_uncached(cell)
+
+    def _pool_round(self, specs: List[Tuple]) -> List[Tuple]:
+        """One pool pass over ``specs``.  Returns the specs that blew
+        their deadline (for the caller to retry).  A broken pool sends
+        every unfinished spec straight to the serial fallback -- the pool
+        machinery itself is no longer trusted this round."""
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        started = time.monotonic()
+        futures = {}
+        deadlines = {}
+        for spec in specs:
+            future = pool.submit(self._worker_fn, spec)
+            futures[future] = spec
+            if self.cell_timeout is not None:
+                deadlines[future] = started + self.cell_timeout * max(
+                    1, len(spec[1])
+                )
+        timed_out: List[Tuple] = []
+        broken = False
+        try:
+            while futures:
+                budget = None
+                if deadlines:
+                    budget = max(
+                        0.0,
+                        min(
+                            deadlines[f] for f in futures if f in deadlines
+                        ) - time.monotonic(),
                     )
+                done, _ = wait(
+                    set(futures), timeout=budget, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # Deadline expiry.  cancel() cannot interrupt a running
+                    # worker process, so the task is abandoned: its future
+                    # is dropped and the pool torn down without waiting.
+                    now = time.monotonic()
+                    for future in list(futures):
+                        if deadlines.get(future, now + 1) <= now:
+                            spec = futures.pop(future)
+                            future.cancel()
+                            timed_out.append(spec)
+                            self.failures.timed_out.append(spec[0])
+                    continue
+                for future in done:
+                    spec = futures.pop(future)
+                    try:
+                        payloads = future.result()
+                    except BrokenProcessPool:
+                        # A worker died mid-task (segfault, OOM kill,
+                        # os._exit); every sibling future is now poisoned.
+                        broken = True
+                        self.failures.worker_crashes += 1
+                        self._serial_fallback(spec)
+                        for other_spec in futures.values():
+                            self._serial_fallback(other_spec)
+                        futures.clear()
+                        break
+                    self._absorb(spec, payloads)
+        finally:
+            pool.shutdown(wait=not timed_out and not broken, cancel_futures=True)
+        return timed_out
+
+    def _absorb(self, spec: Tuple, payloads: List[Dict[str, object]]) -> None:
+        name = spec[0]
+        for (n_cores, strategy), payload in zip(spec[1], payloads):
+            self._runs[(name, n_cores, strategy)] = RunResult.from_dict(
+                payload
+            )
+
+    def _serial_fallback(self, spec: Tuple) -> None:
+        """Run one spec's cells in-process after pool trouble (re-probing
+        the cache first -- the worker may have finished some cells)."""
+        name = spec[0]
+        for cell in self._resolve_cached(
+            [(name, n_cores, strategy) for n_cores, strategy in spec[1]]
+        ):
+            self.failures.degraded.append(_cell_label(*cell))
+            self._run_uncached(cell)
 
     def baseline(self, name: str) -> RunResult:
         return self.run(name, 1, "baseline")

@@ -53,6 +53,42 @@ def render_cache_line(runner) -> str:
     )
 
 
+def render_failure_line(runner) -> str:
+    """One line summarizing what the hardened prefetch had to absorb --
+    timeouts, retries, serial degradations, worker crashes -- or an
+    explicit all-clear (silence would be ambiguous after a chaos run)."""
+    failures = getattr(runner, "failures", None)
+    if failures is None or not failures.any():
+        return "failures  : none"
+    parts = []
+    if failures.worker_crashes:
+        parts.append(f"{failures.worker_crashes} worker crash(es)")
+    if failures.timed_out:
+        parts.append(f"{len(failures.timed_out)} timeout(s)")
+    if failures.retried:
+        parts.append(f"{len(failures.retried)} retried cell(s)")
+    if failures.degraded:
+        parts.append(
+            f"{len(failures.degraded)} cell(s) re-run serially "
+            f"[{', '.join(failures.degraded)}]"
+        )
+    return "failures  : " + "; ".join(parts)
+
+
+def render_fault_line(runner) -> str:
+    """The chaos-mode line (empty when fault injection is off): the
+    configuration needed to reproduce the run, plus how many faults
+    actually landed."""
+    config = getattr(runner, "fault_config", None)
+    if config is None:
+        return ""
+    return (
+        f"faults    : seed={config.seed} rate={config.rate} "
+        f"tm_rate={config.tm_rate} -> "
+        f"{getattr(runner, 'fault_injections', 0)} injection(s)"
+    )
+
+
 def render_bar_breakdown(
     title: str,
     rows: Mapping[str, Mapping[str, float]],

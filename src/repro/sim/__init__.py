@@ -2,6 +2,7 @@
 
 from .caches import L1ICache, SetAssocCache, SharedL2, SnoopBus
 from .core import BARRIER_WAIT, HALTED, LISTENING, RUNNING, Core
+from .faults import FaultConfig, FaultPlan
 from .machine import Deadlock, OutOfCycles, SimulatorError, VoltronMachine
 from .memory import MainMemory, WriteBuffer
 from .network import DirectWires, Message, NetworkError, OperandNetwork
@@ -19,6 +20,8 @@ __all__ = [
     "RUNNING",
     "Core",
     "Deadlock",
+    "FaultConfig",
+    "FaultPlan",
     "OutOfCycles",
     "SimulatorError",
     "VoltronMachine",

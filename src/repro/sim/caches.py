@@ -145,6 +145,9 @@ class L1ICache:
         self.line_words = config.line_words
         self.hits = 0
         self.misses = 0
+        #: Optional :class:`~repro.sim.faults.FaultPlan` (chaos testing):
+        #: fetches occasionally take extra cycles even on a hit.
+        self.faults = None
 
     def access(self, addr: int, l2: SharedL2, memory_latency: int) -> int:
         """Extra fetch cycles: 0 on a hit, L2/memory latency on a miss."""
@@ -156,11 +159,12 @@ class L1ICache:
         if line is not None and line.state != INVALID:
             line.last_used = next(array._tick)
             self.hits += 1
-            return 0
+            return 0 if self.faults is None else self.faults.ifetch_delay()
         self.misses += 1
         l2_hit = l2.access(line_addr)
         array.insert(line_addr, SHARED)
-        return l2.config.hit_latency if l2_hit else memory_latency
+        extra = 0 if self.faults is None else self.faults.ifetch_delay()
+        return (l2.config.hit_latency if l2_hit else memory_latency) + extra
 
 
 class SnoopBus:
@@ -179,6 +183,9 @@ class SnoopBus:
         self.upgrade_latency = 2  # bus invalidate round
         self.invalidations = 0
         self.cache_to_cache = 0
+        #: Optional :class:`~repro.sim.faults.FaultPlan` (chaos testing):
+        #: data accesses occasionally take extra cycles, hit or miss.
+        self.faults = None
 
     # -- public interface ----------------------------------------------------
 
@@ -188,17 +195,18 @@ class SnoopBus:
         l1 = self.l1ds[core]
         line = l1.lookup(line_addr)
         hit_latency = self._hit_latency
+        fault_extra = 0 if self.faults is None else self.faults.mem_delay()
 
         if line is not None:
             if not is_store:
-                return hit_latency, False
+                return hit_latency + fault_extra, False
             if line.state in (MODIFIED, EXCLUSIVE):
                 line.state = MODIFIED
-                return hit_latency, False
+                return hit_latency + fault_extra, False
             # Store to a Shared/Owned line: bus upgrade.
             self._invalidate_others(core, line_addr)
             line.state = MODIFIED
-            return hit_latency + self.upgrade_latency, False
+            return hit_latency + self.upgrade_latency + fault_extra, False
 
         supplier_latency = self._fetch(core, line_addr, is_store)
         new_state = MODIFIED if is_store else self._fill_state(core, line_addr)
@@ -207,7 +215,7 @@ class SnoopBus:
         evicted = l1.insert(line_addr, new_state)
         if evicted is not None and evicted[1] in (MODIFIED, OWNED):
             self.l2.writeback(evicted[0])
-        return hit_latency + supplier_latency, True
+        return hit_latency + supplier_latency + fault_extra, True
 
     def flush_core(self, core: int) -> None:
         """Write back and drop every line a core holds (used by tests)."""

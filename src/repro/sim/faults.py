@@ -1,0 +1,196 @@
+"""Seeded, deterministic fault injection for the Voltron simulator.
+
+Voltron's headline claims are *robustness* claims: queue-mode
+communication tolerates variable latency, the TM rolls back speculative
+DOALL chunks on conflict with guaranteed progress, and decoupled cores
+resynchronize at MODE_SWITCH barriers.  This module adversarially
+exercises those recovery paths in the spirit of STM torture testing and
+the timing-perturbation fuzzing used by architecture simulators.
+
+A :class:`FaultPlan` is a deterministic realization of a
+:class:`FaultConfig`: every injection channel draws from its own
+sha256-seeded stream, so the same (seed, rate) knobs replay the same
+fault schedule in any process (Python's randomized ``hash()`` is never
+involved).  Injection sites:
+
+* **memory/cache latency** -- extra fill cycles on data accesses
+  (:meth:`repro.sim.caches.SnoopBus.access`) and instruction fetches
+  (:meth:`repro.sim.caches.L1ICache.access`);
+* **queue-mode delivery delay** -- extra in-flight cycles on SEND /
+  SPAWN / RELEASE messages (:meth:`repro.sim.network.OperandNetwork.send`);
+* **spurious TM conflicts** -- a validation-passing chunk is aborted
+  anyway, forcing the abort -> register-rollback -> re-execute path
+  (:meth:`repro.sim.tm.TransactionalMemory.try_commit`); the TM's
+  livelock guard bounds consecutive injected aborts so the paper's
+  progress guarantee survives any rate, including 1.0;
+* **transient stall-bus assertions** -- a coupled group is held for a
+  few cycles as if a member were blocked
+  (:meth:`repro.sim.machine.VoltronMachine._step_group`).
+
+Every fault perturbs *timing only*; the chaos-differential suite
+(``tests/properties/test_prop_chaos.py``) proves the strongest possible
+property: under any fault plan, final memory images and reference
+outputs are bit-identical to the fault-free run.
+
+Channels sample geometric inter-arrival gaps (the exact distribution of
+"number of Bernoulli(rate) trials until the first hit"), so a disabled
+or sparse channel costs one integer decrement per probe instead of an
+RNG draw.  With no plan attached the hooks are a single ``is None``
+check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+#: A countdown no run ever reaches (rate-0 channels never fire).
+_NEVER = 1 << 62
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Knobs deriving a deterministic fault schedule.
+
+    ``rate`` is the per-site firing probability of the latency channels
+    (memory, instruction fetch, network, stall bus); ``tm_rate`` is the
+    per-commit probability of a spurious conflict.  The ``max_*`` bounds
+    cap each injected delay in cycles.
+    """
+
+    seed: int = 0
+    rate: float = 0.01
+    tm_rate: float = 0.25
+    max_mem_delay: int = 24
+    max_net_delay: int = 12
+    max_stall_hold: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("rate", "tm_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("max_mem_delay", "max_net_delay", "max_stall_hold"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+
+def _stream(seed: int, channel: str) -> random.Random:
+    """A per-channel RNG seeded through sha256, stable across processes."""
+    digest = hashlib.sha256(f"voltron-fault:{seed}:{channel}".encode())
+    return random.Random(int.from_bytes(digest.digest()[:8], "big"))
+
+
+class _Channel:
+    """One injection channel: geometric inter-arrival, bounded delays."""
+
+    __slots__ = ("rng", "rate", "max_delay", "countdown", "fires",
+                 "injected_cycles")
+
+    def __init__(self, seed: int, name: str, rate: float, max_delay: int) -> None:
+        self.rng = _stream(seed, name)
+        self.rate = rate
+        self.max_delay = max_delay
+        self.fires = 0
+        self.injected_cycles = 0
+        self.countdown = self._gap()
+
+    def _gap(self) -> int:
+        """Trials until the next fire: Geometric(rate) via inverse CDF."""
+        if self.rate <= 0.0:
+            return _NEVER
+        if self.rate >= 1.0:
+            return 1
+        u = self.rng.random()
+        return max(1, math.ceil(math.log(1.0 - u) / math.log(1.0 - self.rate)))
+
+    def fire(self) -> int:
+        """Probe the channel: 0 almost always, else the delay to inject."""
+        self.countdown -= 1
+        if self.countdown > 0:
+            return 0
+        self.countdown = self._gap()
+        delay = self.rng.randint(1, self.max_delay)
+        self.fires += 1
+        self.injected_cycles += delay
+        return delay
+
+
+class FaultPlan:
+    """A deterministic fault schedule, consumed site by site as the
+    machine runs.  Attach one via ``VoltronMachine(..., faults=plan)``;
+    the machine wires it into the bus, the instruction caches, the
+    operand network, and the TM, and falls back to the single-step
+    kernel (fault arrivals are per-cycle events the stall fast-forward
+    classifier cannot see)."""
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        seed = config.seed
+        self._mem = _Channel(seed, "mem", config.rate, config.max_mem_delay)
+        self._ifetch = _Channel(
+            seed, "ifetch", config.rate, config.max_mem_delay
+        )
+        self._net = _Channel(seed, "net", config.rate, config.max_net_delay)
+        self._stall = _Channel(
+            seed, "stall-bus", config.rate, config.max_stall_hold
+        )
+        self._tm = _Channel(seed, "tm", config.tm_rate, 1)
+
+    @classmethod
+    def from_seed(cls, seed: int, rate: float = 0.01, **kwargs) -> "FaultPlan":
+        return cls(FaultConfig(seed=seed, rate=rate, **kwargs))
+
+    # -- injection probes (one per site kind) ----------------------------------
+
+    def mem_delay(self) -> int:
+        """Extra cycles for a data-cache access (0 = no fault)."""
+        return self._mem.fire()
+
+    def ifetch_delay(self) -> int:
+        """Extra cycles for an instruction fetch (0 = no fault)."""
+        return self._ifetch.fire()
+
+    def net_delay(self) -> int:
+        """Extra in-flight cycles for a queue-mode message (0 = no fault)."""
+        return self._net.fire()
+
+    def stall_hold(self) -> int:
+        """Cycles to assert the stall bus over a coupled group (0 = none)."""
+        return self._stall.fire()
+
+    def spurious_conflict(self) -> bool:
+        """Whether to abort a validation-passing commit anyway."""
+        return self._tm.fire() > 0
+
+    # -- accounting -------------------------------------------------------------
+
+    def injections(self) -> int:
+        return sum(channel.fires for channel in self._channels())
+
+    def injected_cycles(self) -> int:
+        return sum(channel.injected_cycles for channel in self._channels())
+
+    def summary(self) -> Dict[str, int]:
+        """Per-channel fire counts plus totals (stable key order)."""
+        out: Dict[str, int] = {}
+        for name, channel in (
+            ("mem", self._mem),
+            ("ifetch", self._ifetch),
+            ("net", self._net),
+            ("stall_bus", self._stall),
+            ("tm", self._tm),
+        ):
+            out[name] = channel.fires
+        out["injections"] = self.injections()
+        out["injected_cycles"] = self.injected_cycles()
+        return out
+
+    def _channels(self):
+        return (self._mem, self._ifetch, self._net, self._stall, self._tm)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.config!r}, injections={self.injections()})"

@@ -65,6 +65,7 @@ from ..isa.operations import (
 from ..isa.registers import Value
 from .caches import L1ICache, SnoopBus
 from .core import BARRIER_WAIT, HALTED, LISTENING, RUNNING, Core
+from .faults import FaultPlan
 from .memory import MainMemory
 from .network import NetworkError, OperandNetwork
 from .stats import MachineStats
@@ -106,6 +107,7 @@ class VoltronMachine:
         max_cycles: int = 20_000_000,
         args: Tuple[Value, ...] = (),
         fast_forward: bool = True,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if compiled.n_cores != config.n_cores:
             raise ValueError(
@@ -126,6 +128,20 @@ class VoltronMachine:
         self.icaches = [L1ICache(config.l1i) for _ in range(config.n_cores)]
         self.network = OperandNetwork(self.mesh, config.network)
         self.tm = TransactionalMemory(self.memory)
+
+        # Fault injection (chaos testing): wire the plan into every
+        # subsystem with an injection site.  Fault arrivals are per-cycle
+        # events the stall fast-forward classifier cannot see, so fault
+        # runs use the reference single-step kernel; with no plan the
+        # hooks are a single is-None check.
+        self.faults = faults
+        if faults is not None:
+            self.fast_forward = False
+            self.bus.faults = faults
+            for icache in self.icaches:
+                icache.faults = faults
+            self.network.faults = faults
+            self.tm.faults = faults
 
         self.cores = [Core(i) for i in range(config.n_cores)]
         main_params = compiled.program.main().params
@@ -234,8 +250,9 @@ class VoltronMachine:
             while not self._all_halted():
                 if self.cycle >= self.max_cycles:
                     raise OutOfCycles(
-                        f"exceeded {self.max_cycles} cycles at state "
-                        f"{[repr(c) for c in cores]}"
+                        f"exceeded {self.max_cycles} cycles "
+                        f"(likely deadlock or livelock)\n"
+                        + self._core_diagnostics()
                     )
                 # Deadlock is only possible when every live core is
                 # listening; run the full probe lazily (core 0 is normally
@@ -328,8 +345,32 @@ class VoltronMachine:
         if any_live and self.network.quiescent():
             raise Deadlock(
                 f"cycle {self.cycle}: every live core is listening and the "
-                "network is quiescent"
+                "network is quiescent\n" + self._core_diagnostics()
             )
+
+    def _core_diagnostics(self) -> str:
+        """Per-core state for Deadlock/OutOfCycles messages: position,
+        stall reason, and operand-queue occupancy -- enough to debug a
+        chaos-suite failure from the exception text alone."""
+        lines = [f"mode={self.mode} cycle={self.cycle}"]
+        for core in self.cores:
+            if core.stack:
+                name, label, slot = core.position()
+                where = f"pc={name}:{label}:{slot}"
+            else:
+                where = "pc=<no frame>"
+            if core.next_free > self.cycle:
+                stall = (
+                    f"blocked[{core.pending_cause or 'latency'}] "
+                    f"until cycle {core.next_free}"
+                )
+            else:
+                stall = "free"
+            lines.append(
+                f"  core {core.id}: {core.status} {where} {stall} "
+                f"queue={self.network.pending_for(core.id)} pending msg(s)"
+            )
+        return "\n".join(lines)
 
     # -- stall fast-forwarding ---------------------------------------------------
 
@@ -469,7 +510,7 @@ class VoltronMachine:
             # control messages all require some core to issue first.
             raise Deadlock(
                 f"cycle {self.cycle}: every core is blocked with no "
-                f"release cycle: {[repr(c) for c in self.cores]}"
+                "release cycle\n" + self._core_diagnostics()
             )
         target = min(min(releases), self.max_cycles)
         skipped = target - cycle
@@ -495,6 +536,15 @@ class VoltronMachine:
         running = [core for core in group if core.status == RUNNING]
         if not running:
             return
+
+        # Fault injection: a transient stall-bus assertion holds the
+        # whole group for a few cycles, exactly as if a member were
+        # blocked; lock-step alignment is preserved because nobody moves.
+        if self.faults is not None:
+            hold = self.faults.stall_hold()
+            if hold:
+                for core in running:
+                    core.block_until(cycle + hold, "latency")
 
         # Stall bus: any blocked member stalls the whole group.
         blocked = [core for core in running if core.next_free > cycle]

@@ -130,6 +130,14 @@ class OperandNetwork:
         self.messages_delivered = 0
         self.send_stalls = 0
         self.total_message_latency = 0
+        #: Optional :class:`~repro.sim.faults.FaultPlan`: when attached,
+        #: messages occasionally spend extra cycles in flight (a chaos
+        #: model of router contention); queue-mode RECVs must tolerate it.
+        #: Delays never reorder a (src, dst) pair -- the physical channel
+        #: is a FIFO, so a delayed message also delays its successors
+        #: (_fifo_floor tracks the pair's latest arrival).
+        self.faults = None
+        self._fifo_floor: Dict[Tuple[int, int], int] = {}
 
     # -- queue mode -----------------------------------------------------------
 
@@ -163,6 +171,13 @@ class OperandNetwork:
             + self.config.queue_entry_cycles
             + hops * self.config.queue_cycles_per_hop
         )
+        if self.faults is not None:
+            key = (src, dst)
+            arrival += self.faults.net_delay()
+            floor = self._fifo_floor.get(key)
+            if floor is not None and arrival < floor:
+                arrival = floor
+            self._fifo_floor[key] = arrival
         self._seq += 1
         self._in_flight.append(
             Message(

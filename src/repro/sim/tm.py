@@ -14,6 +14,18 @@ chunk began; a non-empty intersection aborts the chunk, discards its write
 buffer, and the core re-executes from its compiler-recorded restart point
 with restored registers.  Ordered commit guarantees that a retry that
 begins after all earlier chunks commit succeeds, so progress is assured.
+
+Fault injection (chaos testing) can attach a
+:class:`~repro.sim.faults.FaultPlan` via the ``faults`` attribute:
+``try_commit`` then sometimes aborts a chunk whose validation *passed*,
+exercising the abort -> register-rollback -> re-execute path.  A
+livelock guard keeps the progress guarantee intact under any injection
+rate: once a core accumulates ``livelock_threshold`` consecutive aborts
+the TM escalates to *serialized* commit -- injection is suppressed until
+the current wave of chunks has fully committed -- so an abort storm
+always terminates.  Real conflicts cannot storm on their own (a retry
+that begins after every earlier chunk committed validates clean), so
+escalation changes timing only, never architectural state.
 """
 
 from __future__ import annotations
@@ -51,6 +63,9 @@ class _CommitRecord:
 class TransactionalMemory:
     """Machine-wide TM state: one active transaction per core."""
 
+    #: Consecutive aborts on one core before commit is serialized.
+    LIVELOCK_THRESHOLD = 3
+
     def __init__(self, memory: MainMemory) -> None:
         self.memory = memory
         self.active: Dict[int, Transaction] = {}
@@ -60,6 +75,13 @@ class TransactionalMemory:
         self._commits: List[_CommitRecord] = []
         self.commits = 0
         self.aborts = 0
+        #: Optional :class:`~repro.sim.faults.FaultPlan` (chaos testing).
+        self.faults = None
+        self.spurious_aborts = 0
+        self.livelock_escalations = 0
+        self.livelock_threshold = self.LIVELOCK_THRESHOLD
+        self._abort_streak: Dict[int, int] = {}
+        self._serialized = False
 
     # -- region management -----------------------------------------------------
 
@@ -73,6 +95,8 @@ class TransactionalMemory:
             self._region = region
             self._next_commit_order = 0
             self._commits.clear()
+            self._serialized = False
+            self._abort_streak.clear()
 
     # -- transaction lifecycle ---------------------------------------------------
 
@@ -129,6 +153,16 @@ class TransactionalMemory:
             and tx.buffer.conflicts_with(record.write_set)
             for record in self._commits
         )
+        if (
+            not conflicting
+            and self.faults is not None
+            and not self._serialized
+            and self.faults.spurious_conflict()
+        ):
+            # Injected conflict: validation passed, abort anyway.  The
+            # livelock guard (see abort) bounds how often this can recur.
+            self.spurious_aborts += 1
+            conflicting = True
         if conflicting:
             self.abort(core)
             return False
@@ -144,6 +178,12 @@ class TransactionalMemory:
         self._next_commit_order += 1
         del self.active[core]
         self.commits += 1
+        self._abort_streak.pop(core, None)
+        if not self.active:
+            # The wave of chunks fully committed: any abort storm is
+            # over, so serialized mode (and the streaks) reset.
+            self._serialized = False
+            self._abort_streak.clear()
         return True
 
     def abort(self, core: int) -> None:
@@ -151,6 +191,14 @@ class TransactionalMemory:
         tx.buffer.discard()
         del self.active[core]
         self.aborts += 1
+        streak = self._abort_streak.get(core, 0) + 1
+        self._abort_streak[core] = streak
+        if streak >= self.livelock_threshold and not self._serialized:
+            # Abort storm: escalate to serialized ordered commit --
+            # conflict injection is suppressed until the current wave of
+            # chunks commits, so a retry is guaranteed to make progress.
+            self._serialized = True
+            self.livelock_escalations += 1
 
     def _tx(self, core: int) -> Transaction:
         tx = self.active.get(core)

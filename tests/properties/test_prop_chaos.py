@@ -1,0 +1,97 @@
+"""Chaos-differential suite: fault injection perturbs timing, never results.
+
+For every benchmark and every (cores, strategy) cell, a run under a
+randomized fault plan -- extra cache/memory latency, delayed queue-mode
+deliveries, transient stall-bus assertions, spurious TM conflicts -- must
+leave *final memory bit-identical* to the fault-free golden run, and the
+commit count must still equal the chunk count (injected conflicts raise
+``aborts``; every chunk still commits exactly once).
+
+The plan seeds derive from the ``CHAOS_SEED`` environment variable (CI
+randomizes it and echoes the value, so any failure is replayable with
+``CHAOS_SEED=<n> pytest tests/properties/test_prop_chaos.py``).
+"""
+
+import os
+
+import pytest
+
+from repro.arch import mesh, single_core
+from repro.compiler import VoltronCompiler
+from repro.sim import FaultConfig, FaultPlan, VoltronMachine
+from repro.workloads.suite import BENCHMARKS, build
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "1"))
+
+#: Same cell grid the fast-path differential suite locks down.
+CELLS = [(1, "baseline")] + [
+    (n, s) for n in (2, 4) for s in ("ilp", "tlp", "llp")
+]
+
+#: Sparse enough to finish quickly, dense enough that every channel fires
+#: on every benchmark (verified by the injections() assertions below).
+CHAOS_CONFIGS = [
+    FaultConfig(seed=CHAOS_SEED, rate=0.002, tm_rate=0.5),
+    FaultConfig(seed=CHAOS_SEED + 1, rate=0.005, tm_rate=0.25),
+]
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_faults_never_change_architectural_state(name):
+    bench = build(name)
+    compiler = VoltronCompiler(bench.program)
+    for n_cores, strategy in CELLS:
+        config = single_core() if n_cores == 1 else mesh(n_cores)
+        compiled = compiler.compile(strategy, config)
+        golden = VoltronMachine(compiled, config)
+        golden_stats = golden.run()
+        golden_memory = golden.final_memory()
+        for fault_config in CHAOS_CONFIGS:
+            plan = FaultPlan(fault_config)
+            machine = VoltronMachine(compiled, config, faults=plan)
+            stats = machine.run()
+            cell = f"{name} [{n_cores}-core {strategy}] seed={fault_config.seed}"
+            assert plan.injections() > 0, f"{cell}: plan never fired"
+            assert machine.final_memory() == golden_memory, (
+                f"{cell}: final memory diverged from the fault-free run"
+            )
+            # Ordered commit under injection: aborted chunks re-execute
+            # and commit, so the commit count never moves.
+            assert stats.tx_commits == golden_stats.tx_commits, (
+                f"{cell}: commit count changed under fault injection"
+            )
+            assert stats.tx_aborts >= golden_stats.tx_aborts, (
+                f"{cell}: aborts cannot be fewer than the fault-free run"
+            )
+
+
+def test_injected_tm_conflicts_raise_aborts_not_commits():
+    """171.swim's DOALL regions commit real chunks; with tm_rate=1 every
+    first commit attempt is aborted, yet commits still equal chunk count
+    and memory is untouched (the livelock guard guarantees progress)."""
+    bench = build("171.swim")
+    config = mesh(4)
+    compiled = VoltronCompiler(bench.program).compile("llp", config)
+    golden = VoltronMachine(compiled, config)
+    golden_stats = golden.run()
+    assert golden_stats.tx_commits > 0  # the cell actually speculates
+
+    plan = FaultPlan(FaultConfig(seed=CHAOS_SEED, rate=0.0, tm_rate=1.0))
+    machine = VoltronMachine(compiled, config, faults=plan)
+    stats = machine.run()
+    assert machine.tm.spurious_aborts > 0
+    assert stats.tx_aborts > golden_stats.tx_aborts
+    assert stats.tx_commits == golden_stats.tx_commits
+    assert machine.tm.livelock_escalations > 0  # the guard did fire
+    assert machine.final_memory() == golden.final_memory()
+
+
+def test_chaos_seed_env_var_controls_schedule():
+    """The suite's seed knob genuinely changes the plans (CI randomizes
+    it), while a fixed seed replays bit-identically."""
+    a = FaultPlan(FaultConfig(seed=CHAOS_SEED, rate=0.01))
+    b = FaultPlan(FaultConfig(seed=CHAOS_SEED, rate=0.01))
+    c = FaultPlan(FaultConfig(seed=CHAOS_SEED + 977, rate=0.01))
+    draws = lambda plan: [plan.mem_delay() for _ in range(2000)]  # noqa: E731
+    assert draws(a) == draws(b)
+    assert draws(a) != draws(c)

@@ -1,0 +1,145 @@
+"""Unit tests for the deterministic fault-injection subsystem."""
+
+import pytest
+
+from repro.arch import mesh, single_core
+from repro.compiler import VoltronCompiler
+from repro.sim import FaultConfig, FaultPlan, VoltronMachine
+from repro.workloads.suite import build
+
+
+class TestFaultConfig:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultConfig(rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(tm_rate=2.0)
+
+    def test_delay_bounds_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(max_mem_delay=0)
+        with pytest.raises(ValueError):
+            FaultConfig(max_net_delay=0)
+        with pytest.raises(ValueError):
+            FaultConfig(max_stall_hold=-3)
+
+    def test_frozen(self):
+        config = FaultConfig(seed=3)
+        with pytest.raises(Exception):
+            config.seed = 4
+
+
+class TestFaultPlan:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(FaultConfig(seed=11, rate=0.1))
+        b = FaultPlan(FaultConfig(seed=11, rate=0.1))
+        draws_a = [a.mem_delay() for _ in range(5000)]
+        draws_b = [b.mem_delay() for _ in range(5000)]
+        assert draws_a == draws_b
+        assert a.summary() == b.summary()
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(FaultConfig(seed=11, rate=0.1))
+        b = FaultPlan(FaultConfig(seed=12, rate=0.1))
+        assert [a.net_delay() for _ in range(5000)] != [
+            b.net_delay() for _ in range(5000)
+        ]
+
+    def test_channels_are_independent_streams(self):
+        # Draining one channel must not shift another channel's schedule.
+        a = FaultPlan(FaultConfig(seed=5, rate=0.1))
+        b = FaultPlan(FaultConfig(seed=5, rate=0.1))
+        for _ in range(1000):
+            a.mem_delay()
+        assert [a.net_delay() for _ in range(1000)] == [
+            b.net_delay() for _ in range(1000)
+        ]
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(FaultConfig(seed=1, rate=0.0, tm_rate=0.0))
+        assert all(plan.mem_delay() == 0 for _ in range(10_000))
+        assert not any(plan.spurious_conflict() for _ in range(10_000))
+        assert plan.injections() == 0
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(FaultConfig(seed=1, rate=1.0, tm_rate=1.0))
+        assert all(plan.mem_delay() >= 1 for _ in range(100))
+        assert all(plan.spurious_conflict() for _ in range(100))
+
+    def test_delays_respect_bounds(self):
+        plan = FaultPlan(
+            FaultConfig(seed=2, rate=1.0, max_mem_delay=3, max_net_delay=2)
+        )
+        assert all(1 <= plan.mem_delay() <= 3 for _ in range(500))
+        assert all(1 <= plan.net_delay() <= 2 for _ in range(500))
+
+    def test_empirical_rate_tracks_configured_rate(self):
+        plan = FaultPlan(FaultConfig(seed=9, rate=0.05))
+        fires = sum(1 for _ in range(20_000) if plan.mem_delay())
+        assert 700 <= fires <= 1300  # 1000 expected
+
+    def test_summary_accounting(self):
+        plan = FaultPlan(FaultConfig(seed=4, rate=0.5))
+        for _ in range(200):
+            plan.mem_delay()
+            plan.net_delay()
+        summary = plan.summary()
+        assert summary["mem"] > 0 and summary["net"] > 0
+        assert summary["ifetch"] == summary["tm"] == summary["stall_bus"] == 0
+        assert summary["injections"] == plan.injections()
+        assert summary["injected_cycles"] == plan.injected_cycles()
+        assert summary["injected_cycles"] >= summary["injections"]
+
+
+class TestMachineIntegration:
+    def _compiled(self, name, n_cores, strategy):
+        bench = build(name)
+        config = single_core() if n_cores == 1 else mesh(n_cores)
+        return VoltronCompiler(bench.program).compile(strategy, config), config
+
+    def test_faults_disable_fast_forward(self):
+        compiled, config = self._compiled("rawcaudio", 1, "baseline")
+        machine = VoltronMachine(
+            compiled, config, faults=FaultPlan(FaultConfig(seed=1))
+        )
+        assert machine.fast_forward is False
+
+    def test_plan_wired_into_every_subsystem(self):
+        compiled, config = self._compiled("rawcaudio", 2, "tlp")
+        plan = FaultPlan(FaultConfig(seed=1))
+        machine = VoltronMachine(compiled, config, faults=plan)
+        assert machine.bus.faults is plan
+        assert machine.network.faults is plan
+        assert machine.tm.faults is plan
+        assert all(icache.faults is plan for icache in machine.icaches)
+
+    def test_no_plan_leaves_hooks_detached(self):
+        compiled, config = self._compiled("rawcaudio", 2, "tlp")
+        machine = VoltronMachine(compiled, config)
+        assert machine.faults is None
+        assert machine.bus.faults is None
+        assert machine.network.faults is None
+        assert machine.tm.faults is None
+
+    def test_faulted_run_slower_but_architecturally_identical(self):
+        compiled, config = self._compiled("rawcaudio", 2, "tlp")
+        golden = VoltronMachine(compiled, config)
+        golden_stats = golden.run()
+        plan = FaultPlan(FaultConfig(seed=3, rate=0.05))
+        machine = VoltronMachine(compiled, config, faults=plan)
+        stats = machine.run()
+        assert plan.injections() > 0
+        assert stats.cycles > golden_stats.cycles
+        assert machine.final_memory() == golden.final_memory()
+
+    def test_faulted_run_is_reproducible(self):
+        compiled, config = self._compiled("rawcaudio", 2, "ilp")
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan(FaultConfig(seed=8, rate=0.05))
+            machine = VoltronMachine(compiled, config, faults=plan)
+            stats = machine.run()
+            runs.append((stats.cycles, plan.injections(), plan.summary()))
+        assert runs[0] == runs[1]

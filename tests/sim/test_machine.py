@@ -359,6 +359,28 @@ class TestTermination:
         with pytest.raises(OutOfCycles):
             machine.run()
 
+    def test_out_of_cycles_carries_per_core_diagnostics(self):
+        machine = VoltronMachine(self._nop_spin(), single_core(), max_cycles=200)
+        with pytest.raises(OutOfCycles) as excinfo:
+            machine.run()
+        message = str(excinfo.value)
+        # Position, stall state, and queue occupancy for every core.
+        assert "mode=" in message and "cycle=" in message
+        assert "core 0:" in message
+        assert "pc=" in message
+        assert "pending msg(s)" in message
+
+    def test_deadlock_carries_per_core_diagnostics(self):
+        machine = VoltronMachine(self._cross_recv(), two_core(), fast_forward=True)
+        with pytest.raises(Deadlock) as excinfo:
+            machine.run()
+        message = str(excinfo.value)
+        assert "core 0:" in message and "core 1:" in message
+        # The cross-RECV hang: both cores stuck in their wait block with
+        # empty queues -- readable straight from the exception.
+        assert message.count("queue=0 pending msg(s)") == 2
+        assert "wait" in message
+
 
 class TestProgramArgs:
     def test_args_reach_all_cores(self):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.sim.faults import FaultConfig, FaultPlan
 from repro.sim.memory import MainMemory, WriteBuffer
 from repro.sim.tm import TransactionError, TransactionalMemory
 
@@ -138,3 +139,89 @@ class TestOrderedCommit:
         assert self.tm.try_commit(0)
         assert self.tm.try_commit(1)
         assert self.memory.load(7) == 2  # chunk order preserved
+
+    def test_abort_restores_pre_chunk_memory_exactly(self):
+        # The whole image, not just the touched addresses: an aborted
+        # chunk's stores (including read-modify-writes of populated
+        # locations) must leave no trace anywhere.
+        self.memory.store(10, 111)
+        self.memory.store(11, 222)
+        snapshot = dict(self.memory.as_dict())
+        self.tm.begin(0, region=1, order=0, n_chunks=1)
+        self.tm.store(0, 10, -1)   # overwrite a populated word
+        self.tm.store(0, 999, 7)   # touch a fresh word
+        assert self.tm.load(0, 10) == -1  # chunk sees its own store
+        self.tm.abort(0)
+        assert dict(self.memory.as_dict()) == snapshot
+
+    def test_out_of_order_commit_raises_after_wrap(self):
+        # The wrap-around counter must keep rejecting out-of-order
+        # commits on region re-entry, not just on the first pass.
+        self.tm.begin(0, region=1, order=0, n_chunks=2)
+        self.tm.begin(1, region=1, order=1, n_chunks=2)
+        assert self.tm.try_commit(0)
+        assert self.tm.try_commit(1)
+        self.tm.begin(0, region=1, order=0, n_chunks=2)
+        self.tm.begin(1, region=1, order=1, n_chunks=2)
+        with pytest.raises(TransactionError):
+            self.tm.try_commit(1)
+
+
+class TestFaultInjection:
+    def setup_method(self):
+        self.memory = MainMemory()
+        self.tm = TransactionalMemory(self.memory)
+
+    def _always_conflict(self):
+        return FaultPlan(FaultConfig(seed=1, rate=0.0, tm_rate=1.0))
+
+    def test_spurious_conflict_aborts_clean_commit(self):
+        self.tm.faults = self._always_conflict()
+        self.tm.begin(0, region=1, order=0, n_chunks=1)
+        self.tm.store(0, 5, 9)
+        assert not self.tm.try_commit(0)  # validation passed, aborted anyway
+        assert self.tm.spurious_aborts == 1
+        assert self.tm.aborts == 1
+        assert self.memory.load(5) == 0
+
+    def test_livelock_guard_escalates_and_guarantees_progress(self):
+        self.tm.faults = self._always_conflict()
+        for attempt in range(self.tm.livelock_threshold):
+            self.tm.begin(0, region=1, order=0, n_chunks=1)
+            self.tm.store(0, 5, 9)
+            assert not self.tm.try_commit(0)
+        assert self.tm.livelock_escalations == 1
+        # Serialized mode: injection is suppressed, the retry commits.
+        self.tm.begin(0, region=1, order=0, n_chunks=1)
+        self.tm.store(0, 5, 9)
+        assert self.tm.try_commit(0)
+        assert self.memory.load(5) == 9
+        assert self.tm.commits == 1
+
+    def test_serialized_mode_resets_once_wave_commits(self):
+        self.tm.faults = self._always_conflict()
+        for _ in range(self.tm.livelock_threshold):
+            self.tm.begin(0, region=1, order=0, n_chunks=1)
+            assert not self.tm.try_commit(0)
+        self.tm.begin(0, region=1, order=0, n_chunks=1)
+        assert self.tm.try_commit(0)  # serialized: suppressed injection
+        # The wave committed, so injection resumes on the next chunk.
+        self.tm.begin(0, region=1, order=0, n_chunks=1)
+        assert not self.tm.try_commit(0)
+        assert self.tm.spurious_aborts == self.tm.livelock_threshold + 1
+
+    def test_success_resets_abort_streak(self):
+        # Aborts separated by a success never reach the threshold.
+        plan = FaultPlan(FaultConfig(seed=1, rate=0.0, tm_rate=0.0))
+        self.tm.faults = plan
+        for _ in range(self.tm.livelock_threshold * 2):
+            self.tm.begin(0, region=1, order=0, n_chunks=1)
+            self.tm.abort(0)
+            self.tm._abort_streak[0] = 0  # simulate an interleaved success
+        assert self.tm.livelock_escalations == 0
+
+    def test_no_faults_attached_means_no_spurious_aborts(self):
+        self.tm.begin(0, region=1, order=0, n_chunks=1)
+        self.tm.store(0, 5, 1)
+        assert self.tm.try_commit(0)
+        assert self.tm.spurious_aborts == 0
