@@ -8,18 +8,18 @@ representative fresh unit of work with pytest-benchmark.
 
 import pytest
 
-from repro.harness import ExperimentRunner
+from repro import api
 
 
 @pytest.fixture(scope="session")
 def runner():
-    return ExperimentRunner(max_cycles=20_000_000)
+    return api.session(max_cycles=20_000_000)
 
 
 @pytest.fixture(scope="session")
 def small_runner():
     """A fresh runner over a three-benchmark subset, for timing units."""
-    return ExperimentRunner(
+    return api.session(
         benchmarks=["gsmdecode", "179.art", "171.swim"],
         max_cycles=20_000_000,
     )

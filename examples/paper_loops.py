@@ -10,7 +10,7 @@
     python examples/paper_loops.py
 """
 
-from repro.harness.experiments import ExperimentRunner
+import repro
 
 PAPER_NUMBERS = {
     "fig7_gsm_llp": 1.9,
@@ -20,8 +20,7 @@ PAPER_NUMBERS = {
 
 
 def main():
-    runner = ExperimentRunner(benchmarks=[])
-    measured = runner.figure7_9_examples()
+    measured = repro.run_figure("7-9", benchmarks=[])
     print(f"{'example':22s}{'paper':>8s}{'measured':>10s}")
     print("-" * 40)
     for label, paper_value in PAPER_NUMBERS.items():

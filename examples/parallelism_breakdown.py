@@ -10,15 +10,15 @@ core" when nothing beat the baseline) -- the paper's methodology.
 
 import sys
 
-from repro.harness import ExperimentRunner, render_bar_breakdown
+import repro
+from repro.harness import render_bar_breakdown
 
 DEFAULT_SUBSET = ["gsmdecode", "164.gzip", "179.art", "171.swim", "cjpeg"]
 
 
 def main(benchmarks=None):
     names = benchmarks or DEFAULT_SUBSET
-    runner = ExperimentRunner(benchmarks=names)
-    table = runner.fig3_breakdown()
+    table = repro.run_figure("3", benchmarks=names)
     print(
         render_bar_breakdown(
             "Figure 3: fraction of execution best accelerated by each "

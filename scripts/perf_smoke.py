@@ -38,7 +38,7 @@ BASELINE_PATH = REPO / "benchmarks" / "perf_baseline.json"
 
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.harness import ExperimentRunner  # noqa: E402
+from repro import api  # noqa: E402
 
 #: Mixed-mode subset: coupled-heavy, decoupled-heavy, and DOALL benchmarks.
 SUBSET = ["gsmdecode", "179.art", "171.swim", "epic", "rawcaudio",
@@ -79,10 +79,10 @@ def time_driver_sequence() -> float:
     def once() -> float:
         with tempfile.TemporaryDirectory() as cache_dir:
             start = time.perf_counter()
-            first = ExperimentRunner(benchmarks=SUBSET, cache_dir=cache_dir)
-            first.fig10_11_speedups(n_cores=2)
-            second = ExperimentRunner(benchmarks=SUBSET, cache_dir=cache_dir)
-            second.fig10_11_speedups(n_cores=4)
+            first = api.session(SUBSET, cache_dir=cache_dir)
+            first.fig10_11_speedups(2)
+            second = api.session(SUBSET, cache_dir=cache_dir)
+            second.fig10_11_speedups(4)
             return time.perf_counter() - start
 
     return _min_of(once)

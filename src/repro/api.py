@@ -1,0 +1,178 @@
+"""The stable public API of the reproduction.
+
+Everything a script, notebook, or test needs lives behind four calls --
+no consumer has to reach into harness internals or remember constructor
+spellings:
+
+    import repro
+
+    repro.list_benchmarks()
+    result = repro.run_cell("gsmdecode", cores=4, strategy="hybrid")
+    table = repro.run_figure("13")
+
+Profiling a run attaches an observability bus (see :mod:`repro.obs`):
+
+    from repro.obs import Observability, write_trace
+
+    obs = Observability()
+    result = repro.run_cell("rawcaudio", 4, "hybrid", obs=obs)
+    write_trace(obs, "trace.json")     # load in ui.perfetto.dev
+    result.metrics["timeline"]         # reconciled per-mode summary
+
+These signatures are the compatibility contract: canonical keyword
+spellings are ``cores=`` and ``faults=`` everywhere (the old
+``n_cores=`` / ``fault_config=`` spellings still work one release behind
+a ``DeprecationWarning``), and serialized results carry
+``schema_version`` (see :data:`repro.harness.experiments.SCHEMA_VERSION`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from .arch.config import mesh, single_core
+from .compiler.driver import VoltronCompiler
+from .harness.experiments import ExperimentRunner, RunResult
+from .sim.faults import FaultConfig
+from .workloads.suite import BENCHMARKS, build
+
+#: Figure identifiers accepted by :func:`run_figure`.
+FIGURES = ("3", "7-9", "10", "11", "12", "13", "14")
+
+
+def list_benchmarks() -> List[str]:
+    """Names of the benchmark suite, in canonical order."""
+    return list(BENCHMARKS)
+
+
+def compile_benchmark(
+    benchmark: str,
+    cores: int = 4,
+    strategy: str = "hybrid",
+    *,
+    seed: int = 1,
+):
+    """Build one benchmark and compile it for a machine shape.
+
+    Returns the :class:`~repro.isa.machinecode.CompiledProgram` -- useful
+    for inspecting per-core instruction streams or constructing a
+    :class:`~repro.sim.machine.VoltronMachine` directly.
+    """
+    bench = build(benchmark, seed)
+    config = single_core() if cores == 1 else mesh(cores)
+    return VoltronCompiler(bench.program).compile(strategy, config)
+
+
+def session(
+    benchmarks: Optional[Sequence[str]] = None,
+    *,
+    seed: int = 1,
+    max_cycles: int = 50_000_000,
+    cache_dir: Optional[Union[str, Path]] = None,
+    jobs: int = 1,
+    cell_timeout: Optional[float] = None,
+    faults: Optional[FaultConfig] = None,
+) -> ExperimentRunner:
+    """A reusable experiment session (shared builds, cache, worker pool).
+
+    Use this instead of constructing :class:`ExperimentRunner` directly;
+    the keyword names here are the stable ones.
+    """
+    return ExperimentRunner(
+        benchmarks=benchmarks,
+        seed=seed,
+        max_cycles=max_cycles,
+        cache_dir=cache_dir,
+        jobs=jobs,
+        cell_timeout=cell_timeout,
+        faults=faults,
+    )
+
+
+def run_cell(
+    benchmark: str,
+    cores: int,
+    strategy: str,
+    *,
+    faults: Optional[FaultConfig] = None,
+    obs=None,
+    seed: int = 1,
+    max_cycles: int = 50_000_000,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> RunResult:
+    """Simulate one (benchmark, cores, strategy) cell end to end.
+
+    The run is functionally checked against the reference interpreter.
+    Pass an :class:`~repro.obs.Observability` bus via ``obs=`` to profile
+    the run: the result then carries ``metrics`` (sampled series plus a
+    timeline summary reconciled against the machine stats), and the bus
+    itself can be exported with :func:`repro.obs.write_trace`.  Profiled
+    runs always simulate fresh -- ``cache_dir`` must stay None with
+    ``obs`` (cached results cannot carry a cycle-accurate event record).
+    """
+    runner = ExperimentRunner(
+        benchmarks=[benchmark],
+        seed=seed,
+        max_cycles=max_cycles,
+        cache_dir=None if obs is not None else cache_dir,
+        faults=faults,
+        obs=obs,
+    )
+    return runner.run(benchmark, cores, strategy)
+
+
+def run_figure(
+    figure: str,
+    *,
+    benchmarks: Optional[Sequence[str]] = None,
+    cores: Optional[int] = None,
+    seed: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    jobs: int = 1,
+    cell_timeout: Optional[float] = None,
+    faults: Optional[FaultConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> Dict:
+    """Reproduce one paper figure; returns its data table.
+
+    ``figure`` is one of :data:`FIGURES`.  ``cores`` overrides the
+    figure's default core count where it has one (figures 3, 12, 14; 10
+    and 11 fix their own).  Pass an existing ``runner`` (from
+    :func:`session`) to share builds and cache across several figures.
+    """
+    if figure not in FIGURES:
+        raise ValueError(f"unknown figure {figure!r}; expected one of {FIGURES}")
+    if runner is None:
+        runner = session(
+            benchmarks,
+            seed=seed,
+            cache_dir=cache_dir,
+            jobs=jobs,
+            cell_timeout=cell_timeout,
+            faults=faults,
+        )
+    if figure == "3":
+        return runner.fig3_breakdown(cores if cores is not None else 4)
+    if figure == "7-9":
+        return runner.figure7_9_examples()
+    if figure == "10":
+        return runner.fig10_11_speedups(2)
+    if figure == "11":
+        return runner.fig10_11_speedups(4)
+    if figure == "12":
+        return runner.fig12_stalls(cores if cores is not None else 4)
+    if figure == "13":
+        return runner.fig13_hybrid()
+    return runner.fig14_mode_time(cores if cores is not None else 4)
+
+
+__all__ = [
+    "FIGURES",
+    "RunResult",
+    "compile_benchmark",
+    "list_benchmarks",
+    "run_cell",
+    "run_figure",
+    "session",
+]

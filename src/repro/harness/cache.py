@@ -32,7 +32,9 @@ from ..arch.config import MachineConfig
 from ..isa.program import Program
 
 #: Bump when the cached payload layout changes: old entries simply miss.
-CACHE_VERSION = 2
+#: 3: RunResult payloads gained schema_version + metrics; v2 entries are
+#: quarantined as misses on first probe (same path as corrupt files).
+CACHE_VERSION = 3
 
 
 def program_fingerprint(program: Program) -> str:

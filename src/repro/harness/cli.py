@@ -17,18 +17,26 @@ pool (overdue or crashed cells are retried, then re-run serially).
 simulation runs under a seeded fault plan (``--fault-seed``,
 ``--fault-rate``) that perturbs timing while the harness still checks
 outputs against the reference interpreter.
+
+``run --trace-out trace.json`` profiles the run through the
+observability layer (:mod:`repro.obs`) and writes a Perfetto-loadable
+trace; ``--metrics-out metrics.json`` writes the sampled time series and
+the reconciled per-mode timeline.  Profiled runs always simulate fresh
+(the cache cannot carry a cycle-accurate event record).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
+from .. import api
 from ..sim.faults import FaultConfig
 from ..sim.stats import STALL_CATEGORIES
 from ..workloads.suite import BENCHMARKS
-from .experiments import ExperimentRunner, SINGLE_STRATEGIES
+from .experiments import SINGLE_STRATEGIES
 from .reporting import (
     render_bar_breakdown,
     render_cache_line,
@@ -87,16 +95,16 @@ def _add_runner_options(subparser: argparse.ArgumentParser) -> None:
     )
 
 
-def _make_runner(args, benchmarks) -> ExperimentRunner:
-    fault_config = None
+def _make_runner(args, benchmarks):
+    faults = None
     if args.faults:
-        fault_config = FaultConfig(seed=args.fault_seed, rate=args.fault_rate)
-    return ExperimentRunner(
-        benchmarks=benchmarks,
+        faults = FaultConfig(seed=args.fault_seed, rate=args.fault_rate)
+    return api.session(
+        benchmarks,
         cache_dir=None if args.no_cache else args.cache_dir,
         jobs=args.jobs,
         cell_timeout=args.cell_timeout,
-        fault_config=fault_config,
+        faults=faults,
     )
 
 
@@ -120,6 +128,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--stalls", action="store_true", help="print the stall breakdown"
     )
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="profile the run and write a Perfetto/Chrome trace JSON",
+    )
+    run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="profile the run and write the metrics time series + "
+        "reconciled timeline as JSON",
+    )
+    run.add_argument(
+        "--obs-stride",
+        type=int,
+        default=64,
+        metavar="CYCLES",
+        help="metrics-series sampling period in cycles (default 64)",
+    )
     _add_runner_options(run)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
@@ -141,7 +169,16 @@ def _cmd_list(out) -> int:
 
 
 def _cmd_run(args, out) -> int:
+    obs = None
+    if args.trace_out or args.metrics_out:
+        from ..obs import Observability, ObsConfig
+
+        obs = Observability(ObsConfig(sample_stride=args.obs_stride))
+        # Profiled runs always simulate fresh: a cached result would come
+        # back without its cycle-accurate event record.
+        args.no_cache = True
     runner = _make_runner(args, [args.benchmark])
+    runner.obs = obs
     n_cores = args.cores
     strategy = "baseline" if n_cores == 1 else args.strategy
     result = runner.run(args.benchmark, n_cores, strategy)
@@ -167,6 +204,18 @@ def _cmd_run(args, out) -> int:
             if mean:
                 print(f"  stall {category:10s}: {mean:10.1f} "
                       "cycles/core", file=out)
+    if obs is not None:
+        if args.trace_out:
+            from ..obs import write_trace
+
+            write_trace(obs, args.trace_out)
+            print(f"trace     : {args.trace_out} "
+                  "(load in ui.perfetto.dev)", file=out)
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(result.metrics, handle)
+            print(f"metrics   : {args.metrics_out} (timeline reconciled "
+                  "against machine stats)", file=out)
     return 0
 
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+import warnings
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
@@ -59,6 +60,38 @@ SINGLE_STRATEGIES = ("ilp", "tlp", "llp")
 #: One simulation cell: (benchmark, n_cores, strategy).
 Cell = Tuple[str, int, str]
 
+#: Result-schema version carried by every serialized RunResult.  The
+#: major is a compatibility contract: ``from_dict`` rejects payloads
+#: from a different major (or from before versioning existed).  3.0:
+#: added schema_version itself and the optional observability metrics.
+SCHEMA_VERSION = "3.0"
+
+
+def _pop_alias(kwargs: Dict, old: str, new: str, value, where: str):
+    """Resolve one deprecated keyword alias: ``old`` still works for one
+    release but warns; passing both spellings is an error."""
+    if old in kwargs:
+        alias_value = kwargs.pop(old)
+        if value is not None:
+            raise TypeError(
+                f"{where} got both {new!r} and its deprecated alias {old!r}"
+            )
+        warnings.warn(
+            f"{where}: keyword {old!r} is deprecated, use {new!r}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return alias_value
+    return value
+
+
+def _reject_unknown(kwargs: Dict, where: str) -> None:
+    if kwargs:
+        raise TypeError(
+            f"{where} got unexpected keyword argument(s) "
+            f"{sorted(kwargs)!r}"
+        )
+
 
 @dataclass
 class RunResult:
@@ -70,9 +103,13 @@ class RunResult:
     correct: bool
     #: (function, machine label) -> region descriptor (rid/strategy/origin).
     region_table: Dict[Tuple[str, str], Dict[str, object]]
+    #: Observability payload (series + reconciled timeline) when the run
+    #: was profiled via ``obs=``; None for ordinary runs.
+    metrics: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
+            "schema_version": SCHEMA_VERSION,
             "benchmark": self.benchmark,
             "n_cores": self.n_cores,
             "strategy": self.strategy,
@@ -83,10 +120,18 @@ class RunResult:
                 [function, label, descriptor]
                 for (function, label), descriptor in self.region_table.items()
             ],
+            "metrics": self.metrics,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        version = data.get("schema_version")
+        major = str(version).split(".", 1)[0] if version is not None else None
+        if major != SCHEMA_VERSION.split(".", 1)[0]:
+            raise ValueError(
+                f"unsupported RunResult schema_version {version!r} "
+                f"(this release reads major {SCHEMA_VERSION.split('.')[0]})"
+            )
         return cls(
             benchmark=data["benchmark"],
             n_cores=data["n_cores"],
@@ -98,6 +143,7 @@ class RunResult:
                 (function, label): descriptor
                 for function, label, descriptor in data["region_table"]
             },
+            metrics=data.get("metrics"),
         )
 
 
@@ -144,7 +190,7 @@ def _run_cells_worker(spec: Tuple) -> List[Dict[str, object]]:
         seed=seed,
         max_cycles=max_cycles,
         cache_dir=cache_dir,
-        fault_config=fault_config,
+        faults=fault_config,
     )
     return [
         runner.run(name, n_cores, strategy).to_dict()
@@ -165,8 +211,28 @@ class ExperimentRunner:
         cell_timeout: Optional[float] = None,
         retries: int = 2,
         retry_backoff: float = 0.25,
-        fault_config: Optional[FaultConfig] = None,
+        faults: Optional[FaultConfig] = None,
+        obs=None,
+        **deprecated,
     ) -> None:
+        faults = _pop_alias(
+            deprecated, "fault_config", "faults", faults, "ExperimentRunner()"
+        )
+        _reject_unknown(deprecated, "ExperimentRunner()")
+        if obs is not None:
+            # An Observability bus observes exactly one run, and a cached
+            # or pooled result would come back without its events -- so a
+            # profiling runner is strictly serial and uncached.
+            if cache_dir is not None:
+                raise ValueError(
+                    "observability runs bypass the result cache; "
+                    "pass cache_dir=None with obs"
+                )
+            if jobs > 1:
+                raise ValueError(
+                    "observability runs are single-process; pass jobs=1 "
+                    "with obs"
+                )
         self.names = list(benchmarks) if benchmarks is not None else list(
             BENCHMARKS
         )
@@ -180,7 +246,10 @@ class ExperimentRunner:
         self.retries = max(0, retries)
         #: Base of the exponential backoff slept between pool rounds.
         self.retry_backoff = retry_backoff
-        self.fault_config = fault_config
+        self.fault_config = faults
+        #: Observability bus for the next simulated cell (single-use: the
+        #: first uncached simulation consumes it).
+        self.obs = obs
         #: Total injected perturbations across this runner's fault runs.
         self.fault_injections = 0
         self.failures = FailureSummary()
@@ -260,7 +329,21 @@ class ExperimentRunner:
         cell_seed = int.from_bytes(digest[:4], "big")
         return FaultPlan(replace(self.fault_config, seed=cell_seed))
 
-    def run(self, name: str, n_cores: int, strategy: str) -> RunResult:
+    def run(
+        self,
+        benchmark: Optional[str] = None,
+        cores: Optional[int] = None,
+        strategy: Optional[str] = None,
+        **deprecated,
+    ) -> RunResult:
+        benchmark = _pop_alias(
+            deprecated, "name", "benchmark", benchmark, "ExperimentRunner.run()"
+        )
+        cores = _pop_alias(
+            deprecated, "n_cores", "cores", cores, "ExperimentRunner.run()"
+        )
+        _reject_unknown(deprecated, "ExperimentRunner.run()")
+        name, n_cores = benchmark, cores
         key = (name, n_cores, strategy)
         if key in self._runs:
             return self._runs[key]
@@ -283,8 +366,9 @@ class ExperimentRunner:
         config = _config_for(n_cores)
         compiled = self.compiler(name).compile(strategy, config)
         plan = self._fault_plan(name, n_cores, strategy)
+        obs, self.obs = self.obs, None  # single-use: first simulation wins
         machine = VoltronMachine(
-            compiled, config, max_cycles=self.max_cycles, faults=plan
+            compiled, config, max_cycles=self.max_cycles, faults=plan, obs=obs
         )
         stats = machine.run()
         if plan is not None:
@@ -300,6 +384,14 @@ class ExperimentRunner:
             raise AssertionError(
                 f"{name} [{n_cores}-core {strategy}] produced wrong output"
             )
+        metrics: Optional[Dict[str, object]] = None
+        if obs is not None:
+            # Reconcile the observed timeline against the simulator's own
+            # accounting before anything downstream trusts the metrics.
+            from ..obs import reconcile, summarize
+
+            reconcile(summarize(obs), stats)
+            metrics = obs.metrics()
         result = RunResult(
             benchmark=name,
             n_cores=n_cores,
@@ -308,6 +400,7 @@ class ExperimentRunner:
             stats=stats,
             correct=correct,
             region_table=compiled.attrs.get("regions", {}),
+            metrics=metrics,
         )
         return result
 
@@ -480,14 +573,29 @@ class ExperimentRunner:
     def baseline(self, name: str) -> RunResult:
         return self.run(name, 1, "baseline")
 
-    def speedup(self, name: str, n_cores: int, strategy: str) -> float:
-        return self.baseline(name).cycles / self.run(name, n_cores, strategy).cycles
+    def speedup(self, benchmark: str, cores: int, strategy: str) -> float:
+        return (
+            self.baseline(benchmark).cycles
+            / self.run(benchmark, cores, strategy).cycles
+        )
 
     # -- figures ------------------------------------------------------------------
 
-    def fig10_11_speedups(self, n_cores: int) -> Dict[str, Dict[str, float]]:
+    def _figure_cores(
+        self, cores: Optional[int], deprecated: Dict, where: str, default: int
+    ) -> int:
+        cores = _pop_alias(deprecated, "n_cores", "cores", cores, where)
+        _reject_unknown(deprecated, where)
+        return default if cores is None else cores
+
+    def fig10_11_speedups(
+        self, cores: Optional[int] = None, **deprecated
+    ) -> Dict[str, Dict[str, float]]:
         """Figure 10 (2 cores) / Figure 11 (4 cores): per-benchmark speedup
         when exploiting each parallelism type individually."""
+        n_cores = self._figure_cores(
+            cores, deprecated, "fig10_11_speedups()", 4
+        )
         self.prefetch(
             [(name, 1, "baseline") for name in self.names]
             + [
@@ -504,9 +612,12 @@ class ExperimentRunner:
             }
         return table
 
-    def fig12_stalls(self, n_cores: int = 4) -> Dict[str, Dict[str, Dict[str, float]]]:
+    def fig12_stalls(
+        self, cores: Optional[int] = None, **deprecated
+    ) -> Dict[str, Dict[str, Dict[str, float]]]:
         """Figure 12: stall cycles (per-core mean) under coupled-mode ILP
         vs decoupled fine-grain TLP, normalized to serial execution time."""
+        n_cores = self._figure_cores(cores, deprecated, "fig12_stalls()", 4)
         self.prefetch(
             [(name, 1, "baseline") for name in self.names]
             + [
@@ -542,8 +653,11 @@ class ExperimentRunner:
             for name in self.names
         }
 
-    def fig14_mode_time(self, n_cores: int = 4) -> Dict[str, Dict[str, float]]:
+    def fig14_mode_time(
+        self, cores: Optional[int] = None, **deprecated
+    ) -> Dict[str, Dict[str, float]]:
         """Figure 14: fraction of hybrid execution spent in each mode."""
+        n_cores = self._figure_cores(cores, deprecated, "fig14_mode_time()", 4)
         self.prefetch([(name, n_cores, "hybrid") for name in self.names])
         table = {}
         for name in self.names:
@@ -554,7 +668,9 @@ class ExperimentRunner:
             }
         return table
 
-    def fig3_breakdown(self, n_cores: int = 4) -> Dict[str, Dict[str, float]]:
+    def fig3_breakdown(
+        self, cores: Optional[int] = None, **deprecated
+    ) -> Dict[str, Dict[str, float]]:
         """Figure 3: fraction of serial execution best accelerated by each
         parallelism type on a 4-core system.
 
@@ -562,6 +678,7 @@ class ExperimentRunner:
         single-strategy compilation; the region's serial-time fraction is
         attributed to the type that ran it fastest (or to "single core"
         when no strategy beats the baseline)."""
+        n_cores = self._figure_cores(cores, deprecated, "fig3_breakdown()", 4)
         self.prefetch(
             [(name, 1, "baseline") for name in self.names]
             + [

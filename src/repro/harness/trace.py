@@ -91,6 +91,9 @@ class Tracer:
     limit: int = 100_000
     events: List[TraceEvent] = field(default_factory=list)
     truncated: bool = False
+    #: Events discarded after the limit was hit (so a truncated render
+    #: says how much of the run it is blind to).
+    dropped: int = 0
 
     @classmethod
     def attach(cls, machine, limit: int = 100_000) -> "Tracer":
@@ -101,6 +104,7 @@ class Tracer:
     def _record(self, cycle: int, core: int, op: Operation) -> None:
         if len(self.events) >= self.limit:
             self.truncated = True
+            self.dropped += 1
             return
         self.events.append(TraceEvent(cycle, core, op))
 
@@ -161,5 +165,8 @@ class Tracer:
         if legend:
             lines.append(f"legend: {legend} (blank = stall/idle)")
         if self.truncated:
-            lines.append(f"[trace truncated at {self.limit} events]")
+            lines.append(
+                f"[trace truncated at {self.limit} events; "
+                f"{self.dropped} dropped]"
+            )
         return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Per-mode / per-region timeline summary, reconciled against MachineStats.
+
+:func:`summarize` folds an :class:`~repro.obs.events.Observability`
+instance's spans into totals -- cycles per mode, stall cycles per core per
+category, transaction counts per speculative region -- and
+:func:`reconcile` asserts those totals agree *exactly* with the
+:class:`~repro.sim.stats.MachineStats` the simulator produced.  The two
+accountings take independent paths (spans are recorded at probe time,
+stats are the simulator's own accumulators), so agreement is a real
+end-to-end check on the instrumentation, not a tautology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..sim.stats import STALL_CATEGORIES, MachineStats
+
+
+class ReconciliationError(AssertionError):
+    """The observability timeline disagrees with the simulator's stats."""
+
+
+@dataclass
+class TimelineSummary:
+    """Totals folded from one run's observability spans."""
+
+    cycles: int
+    mode_cycles: Dict[str, int]
+    #: Closed mode-residency segments: (start, end, mode), end exclusive.
+    mode_segments: List[Tuple[int, int, str]]
+    #: Per-core stall-cycle totals by category, folded from the spans.
+    stall_totals: List[Dict[str, int]]
+    ff_windows: int
+    ff_cycles: int
+    #: Per speculative region: begin/commit/abort event counts.
+    regions: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    tx_begins: int = 0
+    tx_commits: int = 0
+    tx_aborts: int = 0
+    truncated: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cycles": self.cycles,
+            "mode_cycles": dict(self.mode_cycles),
+            "mode_segments": [list(seg) for seg in self.mode_segments],
+            "stall_totals": [dict(totals) for totals in self.stall_totals],
+            "ff_windows": self.ff_windows,
+            "ff_cycles": self.ff_cycles,
+            "regions": {
+                str(region): dict(counts)
+                for region, counts in sorted(self.regions.items())
+            },
+            "tx_begins": self.tx_begins,
+            "tx_commits": self.tx_commits,
+            "tx_aborts": self.tx_aborts,
+            "truncated": self.truncated,
+        }
+
+
+def summarize(obs) -> TimelineSummary:
+    """Fold the recorded spans and events into a :class:`TimelineSummary`."""
+    stall_totals: List[Dict[str, int]] = []
+    for spans in obs.stall_spans:
+        totals = {category: 0 for category in STALL_CATEGORIES}
+        for _start, cycles, category in spans:
+            totals[category] += cycles
+        stall_totals.append(totals)
+
+    mode_cycles = {"coupled": 0, "decoupled": 0}
+    for start, end, mode in obs.mode_segments:
+        mode_cycles[mode] = mode_cycles.get(mode, 0) + (end - start)
+
+    regions: Dict[int, Dict[str, int]] = {}
+    counts = {"begin": 0, "commit": 0, "abort": 0}
+    for event in obs.tx_events:
+        region = regions.setdefault(
+            event.region, {"begin": 0, "commit": 0, "abort": 0}
+        )
+        region[event.kind] += 1
+        counts[event.kind] += 1
+
+    return TimelineSummary(
+        cycles=obs.final_cycle if obs.final_cycle is not None else 0,
+        mode_cycles=mode_cycles,
+        mode_segments=list(obs.mode_segments),
+        stall_totals=stall_totals,
+        ff_windows=len(obs.ff_windows),
+        ff_cycles=sum(end - start for start, end in obs.ff_windows),
+        regions=regions,
+        tx_begins=counts["begin"],
+        tx_commits=counts["commit"],
+        tx_aborts=counts["abort"],
+        truncated=obs.truncated,
+    )
+
+
+def reconcile(summary: TimelineSummary, stats: MachineStats) -> TimelineSummary:
+    """Assert the timeline totals equal the simulator's own accounting.
+
+    Checks total cycles, per-mode residency, and per-core per-category
+    stall cycles unconditionally (spans are never truncated); transaction
+    counts only when the event lists were not truncated.  Raises
+    :class:`ReconciliationError` listing every mismatch; returns the
+    summary unchanged on success.
+    """
+    problems: List[str] = []
+    if summary.cycles != stats.cycles:
+        problems.append(
+            f"cycles: timeline {summary.cycles} != stats {stats.cycles}"
+        )
+    for mode in ("coupled", "decoupled"):
+        observed = summary.mode_cycles.get(mode, 0)
+        expected = stats.mode_cycles.get(mode, 0)
+        if observed != expected:
+            problems.append(
+                f"mode_cycles[{mode}]: timeline {observed} != stats {expected}"
+            )
+    if len(summary.stall_totals) != len(stats.cores):
+        problems.append(
+            f"core count: timeline {len(summary.stall_totals)} != "
+            f"stats {len(stats.cores)}"
+        )
+    else:
+        for core_id, (totals, core) in enumerate(
+            zip(summary.stall_totals, stats.cores)
+        ):
+            for category in STALL_CATEGORIES:
+                if totals[category] != core.stalls[category]:
+                    problems.append(
+                        f"core {core_id} stalls[{category}]: timeline "
+                        f"{totals[category]} != stats {core.stalls[category]}"
+                    )
+    if not summary.truncated:
+        if summary.tx_commits != stats.tx_commits:
+            problems.append(
+                f"tx_commits: timeline {summary.tx_commits} != "
+                f"stats {stats.tx_commits}"
+            )
+        if summary.tx_aborts != stats.tx_aborts:
+            problems.append(
+                f"tx_aborts: timeline {summary.tx_aborts} != "
+                f"stats {stats.tx_aborts}"
+            )
+    if problems:
+        raise ReconciliationError(
+            "observability timeline disagrees with MachineStats:\n  "
+            + "\n  ".join(problems)
+        )
+    return summary

@@ -148,6 +148,10 @@ class L1ICache:
         #: Optional :class:`~repro.sim.faults.FaultPlan` (chaos testing):
         #: fetches occasionally take extra cycles even on a hit.
         self.faults = None
+        #: Optional :class:`~repro.obs.events.Observability` event bus and
+        #: the owning core's index (both set by Observability.attach).
+        self.obs = None
+        self.core_index = -1
 
     def access(self, addr: int, l2: SharedL2, memory_latency: int) -> int:
         """Extra fetch cycles: 0 on a hit, L2/memory latency on a miss."""
@@ -164,7 +168,10 @@ class L1ICache:
         l2_hit = l2.access(line_addr)
         array.insert(line_addr, SHARED)
         extra = 0 if self.faults is None else self.faults.ifetch_delay()
-        return (l2.config.hit_latency if l2_hit else memory_latency) + extra
+        latency = (l2.config.hit_latency if l2_hit else memory_latency) + extra
+        if self.obs is not None:
+            self.obs.icache_miss(self.core_index, latency)
+        return latency
 
 
 class SnoopBus:
@@ -186,6 +193,9 @@ class SnoopBus:
         #: Optional :class:`~repro.sim.faults.FaultPlan` (chaos testing):
         #: data accesses occasionally take extra cycles, hit or miss.
         self.faults = None
+        #: Optional :class:`~repro.obs.events.Observability` event bus:
+        #: when attached, data-cache misses emit probe events.
+        self.obs = None
 
     # -- public interface ----------------------------------------------------
 
@@ -215,7 +225,10 @@ class SnoopBus:
         evicted = l1.insert(line_addr, new_state)
         if evicted is not None and evicted[1] in (MODIFIED, OWNED):
             self.l2.writeback(evicted[0])
-        return hit_latency + supplier_latency + fault_extra, True
+        cycles = hit_latency + supplier_latency + fault_extra
+        if self.obs is not None:
+            self.obs.cache_miss(core, cycles)
+        return cycles, True
 
     def flush_core(self, core: int) -> None:
         """Write back and drop every line a core holds (used by tests)."""

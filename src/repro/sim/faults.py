@@ -129,6 +129,9 @@ class FaultPlan:
 
     def __init__(self, config: FaultConfig) -> None:
         self.config = config
+        #: Optional :class:`~repro.obs.events.Observability` event bus:
+        #: when attached, every landed injection emits a probe event.
+        self.obs = None
         seed = config.seed
         self._mem = _Channel(seed, "mem", config.rate, config.max_mem_delay)
         self._ifetch = _Channel(
@@ -148,23 +151,38 @@ class FaultPlan:
 
     def mem_delay(self) -> int:
         """Extra cycles for a data-cache access (0 = no fault)."""
-        return self._mem.fire()
+        delay = self._mem.fire()
+        if delay and self.obs is not None:
+            self.obs.fault("mem", delay)
+        return delay
 
     def ifetch_delay(self) -> int:
         """Extra cycles for an instruction fetch (0 = no fault)."""
-        return self._ifetch.fire()
+        delay = self._ifetch.fire()
+        if delay and self.obs is not None:
+            self.obs.fault("ifetch", delay)
+        return delay
 
     def net_delay(self) -> int:
         """Extra in-flight cycles for a queue-mode message (0 = no fault)."""
-        return self._net.fire()
+        delay = self._net.fire()
+        if delay and self.obs is not None:
+            self.obs.fault("net", delay)
+        return delay
 
     def stall_hold(self) -> int:
         """Cycles to assert the stall bus over a coupled group (0 = none)."""
-        return self._stall.fire()
+        delay = self._stall.fire()
+        if delay and self.obs is not None:
+            self.obs.fault("stall_bus", delay)
+        return delay
 
     def spurious_conflict(self) -> bool:
         """Whether to abort a validation-passing commit anyway."""
-        return self._tm.fire() > 0
+        fired = self._tm.fire() > 0
+        if fired and self.obs is not None:
+            self.obs.fault("tm", 1)
+        return fired
 
     # -- accounting -------------------------------------------------------------
 

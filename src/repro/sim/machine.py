@@ -65,7 +65,7 @@ from ..isa.operations import (
 from ..isa.registers import Value
 from .caches import L1ICache, SnoopBus
 from .core import BARRIER_WAIT, HALTED, LISTENING, RUNNING, Core
-from .faults import FaultPlan
+from .faults import FaultConfig, FaultPlan
 from .memory import MainMemory
 from .network import NetworkError, OperandNetwork
 from .stats import MachineStats
@@ -108,6 +108,7 @@ class VoltronMachine:
         args: Tuple[Value, ...] = (),
         fast_forward: bool = True,
         faults: Optional[FaultPlan] = None,
+        obs=None,
     ) -> None:
         if compiled.n_cores != config.n_cores:
             raise ValueError(
@@ -134,6 +135,8 @@ class VoltronMachine:
         # events the stall fast-forward classifier cannot see, so fault
         # runs use the reference single-step kernel; with no plan the
         # hooks are a single is-None check.
+        if isinstance(faults, FaultConfig):
+            faults = FaultPlan(faults)
         self.faults = faults
         if faults is not None:
             self.fast_forward = False
@@ -188,6 +191,16 @@ class VoltronMachine:
         self._dispatch: Dict[Opcode, Handler] = build_dispatch_table()
         self._memory_latency = config.memory_latency
         self._predecode()
+
+        # Observability (repro.obs): attaching an event bus wires typed
+        # probes into every subsystem; detached, each hook is a single
+        # is-None check, so performance runs and the fast-forward
+        # differential suite are untouched.  Attach last: the bus hooks
+        # the per-core stall methods and the network/TM/cache objects
+        # constructed above.
+        self.obs = obs
+        if obs is not None:
+            obs.attach(self)
 
     # -- pre-decode ----------------------------------------------------------------
 
@@ -246,6 +259,7 @@ class VoltronMachine:
         # single-stepped -- which credits it identically anyway.
         stalled_prev = True
         busy_total = sum(s.busy for s in core_stats)
+        obs = self.obs
         try:
             while not self._all_halted():
                 if self.cycle >= self.max_cycles:
@@ -300,8 +314,16 @@ class VoltronMachine:
                     mode_count = 0
                     if self._mode_next != self.mode:
                         self.stats.mode_switches += 1
+                        if obs is not None:
+                            # This cycle still counts under the old mode;
+                            # the switch takes effect at cycle + 1.
+                            obs.mode_switch(
+                                self.cycle + 1, self.mode, self._mode_next
+                            )
                     self.mode = self._mode_next
                     self._mode_next = None
+                if obs is not None:
+                    obs.cycle(self.cycle)
                 self.cycle += 1
         finally:
             # Flush even when OutOfCycles/Deadlock propagates, so the
@@ -315,6 +337,8 @@ class VoltronMachine:
         self.stats.cycles = self.cycle
         self.stats.tx_commits = self.tm.commits
         self.stats.tx_aborts = self.tm.aborts
+        if obs is not None:
+            obs.finalize(self)
         return self.stats
 
     def final_memory(self) -> Dict[int, Value]:
@@ -526,6 +550,11 @@ class VoltronMachine:
             self.stats.block_cycles[key] = (
                 self.stats.block_cycles.get(key, 0) + skipped
             )
+        if self.obs is not None:
+            # The bulk stall credits above were recorded (via the hooked
+            # per-core stall methods) while self.cycle was still the old
+            # cycle, so their spans already cover [cycle, target).
+            self.obs.fast_forward_window(cycle, target)
         self.cycle = target
         return True
 

@@ -138,6 +138,9 @@ class OperandNetwork:
         #: (_fifo_floor tracks the pair's latest arrival).
         self.faults = None
         self._fifo_floor: Dict[Tuple[int, int], int] = {}
+        #: Optional :class:`~repro.obs.events.Observability` event bus:
+        #: when attached, sends and receives emit probe events.
+        self.obs = None
 
     # -- queue mode -----------------------------------------------------------
 
@@ -190,6 +193,8 @@ class OperandNetwork:
                 seq=self._seq,
             )
         )
+        if self.obs is not None:
+            self.obs.net_send(cycle, src, dst, kind, self._seq, arrival)
 
     def deliver(self, cycle: int) -> None:
         """Move arrived messages into receive queues (per-pair credits bound
@@ -236,6 +241,8 @@ class OperandNetwork:
                 - self.mesh.hops(message.src, message.dst)
                 - self.config.queue_entry_cycles
             )
+            if self.obs is not None:
+                self.obs.net_recv(cycle, message.seq)
             return message
         return None
 
@@ -246,6 +253,8 @@ class OperandNetwork:
             if message.kind in ("spawn", "release") and message.ready_cycle <= cycle:
                 del queue[i]
                 self._release_credit(message)
+                if self.obs is not None:
+                    self.obs.net_recv(cycle, message.seq)
                 return message
         return None
 

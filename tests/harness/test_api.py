@@ -1,0 +1,198 @@
+"""The ``repro.api`` facade: stable signatures, kwarg deprecations,
+result-schema versioning, and observability integration.
+
+These tests are the compatibility contract from the package docstring:
+``cores=`` / ``faults=`` are canonical (old spellings warn for one
+release, both at once is an error), serialized ``RunResult`` payloads
+carry ``schema_version`` and readers reject foreign majors, and a
+profiled run is strictly serial and uncached.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+import repro
+from repro import api
+from repro.harness.cli import main as cli_main
+from repro.harness.experiments import (
+    ExperimentRunner,
+    RunResult,
+    SCHEMA_VERSION,
+)
+from repro.obs import Observability
+from repro.sim.faults import FaultConfig
+from repro.workloads.suite import BENCHMARKS
+
+
+@pytest.fixture(scope="module")
+def baseline_payload():
+    result = repro.run_cell(
+        "rawcaudio", 1, "baseline", max_cycles=20_000_000
+    )
+    return result.to_dict()
+
+
+class TestFacade:
+    def test_lazy_reexports(self):
+        assert repro.run_cell is api.run_cell
+        assert repro.session is api.session
+        assert repro.FIGURES == api.FIGURES
+        assert "run_figure" in dir(repro)
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_list_benchmarks(self):
+        names = repro.list_benchmarks()
+        assert names == list(BENCHMARKS)
+        # A fresh list every call: mutating it cannot corrupt the suite.
+        names.clear()
+        assert repro.list_benchmarks() == list(BENCHMARKS)
+
+    def test_compile_benchmark(self):
+        compiled = repro.compile_benchmark("rawcaudio", cores=2, strategy="ilp")
+        assert compiled is not None
+
+    def test_run_cell_round_trip(self, baseline_payload):
+        assert baseline_payload["schema_version"] == SCHEMA_VERSION
+        restored = RunResult.from_dict(baseline_payload)
+        assert restored.correct
+        assert restored.to_dict() == baseline_payload
+
+    def test_run_cell_with_obs_attaches_metrics(self):
+        obs = Observability()
+        result = repro.run_cell(
+            "rawcaudio", 2, "ilp", obs=obs, max_cycles=20_000_000
+        )
+        assert result.metrics is not None
+        assert set(result.metrics) == {"series", "timeline", "truncated"}
+        assert result.metrics["timeline"]["cycles"] == result.cycles
+        # The metrics payload survives serialization unchanged.
+        assert json.loads(json.dumps(result.to_dict()))["metrics"] == (
+            result.metrics
+        )
+
+    def test_run_figure_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            repro.run_figure("99")
+
+    def test_run_figure_over_empty_suite(self):
+        assert repro.run_figure("13", benchmarks=[]) == {}
+
+    def test_session_is_an_experiment_runner(self):
+        runner = repro.session([], faults=FaultConfig(seed=9))
+        assert isinstance(runner, ExperimentRunner)
+        assert runner.fault_config == FaultConfig(seed=9)
+
+
+class TestSchemaVersion:
+    def test_missing_version_rejected(self, baseline_payload):
+        payload = dict(baseline_payload)
+        payload.pop("schema_version")
+        with pytest.raises(ValueError, match="schema_version"):
+            RunResult.from_dict(payload)
+
+    def test_foreign_major_rejected(self, baseline_payload):
+        payload = dict(baseline_payload, schema_version="2.0")
+        with pytest.raises(ValueError, match="schema_version"):
+            RunResult.from_dict(payload)
+
+    def test_newer_minor_accepted(self, baseline_payload):
+        payload = dict(baseline_payload, schema_version="3.9")
+        assert RunResult.from_dict(payload).correct
+
+
+class TestDeprecatedSpellings:
+    def test_fault_config_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="fault_config"):
+            runner = ExperimentRunner(
+                benchmarks=[], fault_config=FaultConfig(seed=1)
+            )
+        assert runner.fault_config == FaultConfig(seed=1)
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(TypeError, match="fault_config"):
+            ExperimentRunner(
+                benchmarks=[],
+                faults=FaultConfig(seed=1),
+                fault_config=FaultConfig(seed=2),
+            )
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="bogus"):
+            ExperimentRunner(benchmarks=[], bogus=1)
+
+    def test_run_aliases_warn_and_still_work(self):
+        runner = ExperimentRunner(
+            benchmarks=["rawcaudio"], max_cycles=20_000_000
+        )
+        with pytest.warns(DeprecationWarning, match="n_cores"):
+            result = runner.run("rawcaudio", strategy="baseline", n_cores=1)
+        assert result.correct
+        with pytest.warns(DeprecationWarning, match="'name'"):
+            again = runner.run(name="rawcaudio", cores=1, strategy="baseline")
+        assert again is result  # same memoized cell
+
+    def test_figure_driver_alias_warns(self):
+        runner = ExperimentRunner(benchmarks=[])
+        with pytest.warns(DeprecationWarning, match="n_cores"):
+            assert runner.fig10_11_speedups(n_cores=2) == {}
+        with pytest.warns(DeprecationWarning, match="n_cores"):
+            assert runner.fig14_mode_time(n_cores=4) == {}
+
+
+class TestObsConstraints:
+    def test_obs_with_cache_dir_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="cache"):
+            ExperimentRunner(
+                benchmarks=[], cache_dir=tmp_path, obs=Observability()
+            )
+
+    def test_obs_with_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ExperimentRunner(benchmarks=[], jobs=2, obs=Observability())
+
+    def test_obs_is_single_use_within_a_session(self):
+        runner = ExperimentRunner(
+            benchmarks=["rawcaudio"],
+            max_cycles=20_000_000,
+            obs=Observability(),
+        )
+        first = runner.run("rawcaudio", 1, "baseline")
+        assert first.metrics is not None
+        second = runner.run("rawcaudio", 2, "ilp")
+        assert second.metrics is None
+
+
+class TestCliProfiling:
+    def test_trace_and_metrics_out(self, tmp_path):
+        out = io.StringIO()
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert (
+            cli_main(
+                [
+                    "run", "--benchmark", "rawcaudio", "--cores", "2",
+                    "--strategy", "ilp",
+                    "--trace-out", str(trace_path),
+                    "--metrics-out", str(metrics_path),
+                    "--cache-dir", str(tmp_path / "cache"),
+                ],
+                out=out,
+            )
+            == 0
+        )
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+        assert trace["otherData"]["truncated"] is False
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["timeline"]["cycles"] > 0
+        assert metrics["series"]["cycle"]
+        output = out.getvalue()
+        assert "trace     :" in output
+        assert "metrics   :" in output
+        # Profiling forced the run off the cache.
+        assert not (tmp_path / "cache").exists()

@@ -223,7 +223,7 @@ class TestFaultKnobs:
         chaotic = ExperimentRunner(
             benchmarks=["rawcaudio"],
             cache_dir=tmp_path,
-            fault_config=FaultConfig(seed=1),
+            faults=FaultConfig(seed=1),
         )
         assert clean._cell_key("rawcaudio", 1, "baseline") != chaotic._cell_key(
             "rawcaudio", 1, "baseline"
@@ -253,7 +253,7 @@ class TestFaultKnobs:
             cache_dir=tmp_path,
             jobs=2,
             cell_timeout=120,
-            fault_config=FaultConfig(seed=3, rate=0.01),
+            faults=FaultConfig(seed=3, rate=0.01),
         )
         runner.prefetch(CELLS)
         for cell in CELLS:

@@ -53,6 +53,22 @@ class TestTracer:
         assert tracer.truncated
         assert "truncated" in tracer.render()
 
+    def test_truncation_counts_dropped_events(self):
+        machine = _machine()
+        full = Tracer.attach(machine)
+        capped = Tracer.attach(machine, limit=10)
+        machine.run()
+        assert capped.dropped == len(full.events) - capped.limit
+        assert f"{capped.dropped} dropped" in capped.render()
+
+    def test_untruncated_trace_drops_nothing(self):
+        machine = _machine()
+        tracer = Tracer.attach(machine)
+        machine.run()
+        assert not tracer.truncated
+        assert tracer.dropped == 0
+        assert "truncated" not in tracer.render()
+
     def test_render_grid_shape(self):
         machine = _machine()
         tracer = Tracer.attach(machine)
