@@ -17,6 +17,13 @@ noise, compared against the committed numbers in
   quickstart ratio to normalize away machine-speed differences between
   the box that recorded the baseline and the box running the check.
 
+Both guards run with fault injection off, so they double as the proof
+that the destructive-fault recovery hooks (link-layer CRC checks, the
+blackout watchdog, degradation gating) are free when dormant: a
+fault-free machine never constructs a RecoveryManager -- asserted
+outright before timing starts -- and every hook is a single ``is None``
+check on the hot path.
+
 Regenerate the baselines on a quiet machine with::
 
     PYTHONPATH=src python scripts/perf_smoke.py --update
@@ -88,6 +95,26 @@ def time_driver_sequence() -> float:
     return _min_of(once)
 
 
+def check_recovery_hooks_dormant() -> None:
+    """A fault-free machine must not pay for the recovery subsystem: no
+    RecoveryManager is constructed, the network neither stamps CRCs nor
+    adjudicates deliveries, and the stall fast-forward stays armed.  The
+    timed runs below then measure the dormant-hook fast path for real."""
+    from repro.arch import mesh
+    from repro.compiler import VoltronCompiler
+    from repro.sim import VoltronMachine
+    from repro.workloads.suite import build
+
+    bench = build("rawcaudio")
+    config = mesh(4)
+    compiled = VoltronCompiler(bench.program).compile("hybrid", config)
+    machine = VoltronMachine(compiled, config)
+    assert machine.recovery is None, "RecoveryManager built without faults"
+    assert machine.network.recovery is None, "network armed without faults"
+    assert machine.fast_forward, "fast-forward lost without faults"
+    print("recovery hooks  : dormant on the fault-free path (asserted)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -97,6 +124,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    check_recovery_hooks_dormant()
     quickstart = time_quickstart()
     driver = time_driver_sequence()
     print(f"quickstart      : {quickstart:.2f}s (min of {REPEATS})")

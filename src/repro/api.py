@@ -20,10 +20,11 @@ Profiling a run attaches an observability bus (see :mod:`repro.obs`):
     result.metrics["timeline"]         # reconciled per-mode summary
 
 These signatures are the compatibility contract: canonical keyword
-spellings are ``cores=`` and ``faults=`` everywhere (the old
-``n_cores=`` / ``fault_config=`` spellings still work one release behind
-a ``DeprecationWarning``), and serialized results carry
-``schema_version`` (see :data:`repro.harness.experiments.SCHEMA_VERSION`).
+spellings are ``cores=`` and ``faults=`` everywhere (the deprecated
+``n_cores=`` / ``name=`` / ``fault_config=`` aliases shipped their
+``DeprecationWarning`` release and have been removed), and serialized
+results carry ``schema_version`` (see
+:data:`repro.harness.experiments.SCHEMA_VERSION`).
 """
 
 from __future__ import annotations

@@ -20,6 +20,7 @@ from .reporting import (
     render_cache_line,
     render_failure_line,
     render_fault_line,
+    render_recovery_line,
     render_table,
 )
 from .trace import TraceEvent, Tracer
@@ -40,6 +41,7 @@ __all__ = [
     "render_cache_line",
     "render_failure_line",
     "render_fault_line",
+    "render_recovery_line",
     "render_table",
     "TraceEvent",
     "Tracer",

@@ -16,7 +16,12 @@ pool (overdue or crashed cells are retried, then re-run serially).
 ``--faults`` turns on deterministic fault injection (chaos mode): every
 simulation runs under a seeded fault plan (``--fault-seed``,
 ``--fault-rate``) that perturbs timing while the harness still checks
-outputs against the reference interpreter.
+outputs against the reference interpreter.  ``--fault-profile`` selects
+which fault families are armed: ``timing`` (the default delay-only
+channels), ``destructive`` (corrupted/dropped messages and core
+blackouts, repaired by the architectural recovery layer --
+:mod:`repro.sim.recovery`), or ``both``.  Destructive runs print a
+``recovery :`` report line tallying every detection and repair.
 
 ``run --trace-out trace.json`` profiles the run through the
 observability layer (:mod:`repro.obs`) and writes a Perfetto-loadable
@@ -33,7 +38,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from .. import api
-from ..sim.faults import FaultConfig
+from ..sim.faults import FAULT_PROFILES, FaultConfig
 from ..sim.stats import STALL_CATEGORIES
 from ..workloads.suite import BENCHMARKS
 from .experiments import SINGLE_STRATEGIES
@@ -42,6 +47,7 @@ from .reporting import (
     render_cache_line,
     render_failure_line,
     render_fault_line,
+    render_recovery_line,
     render_table,
 )
 
@@ -93,12 +99,24 @@ def _add_runner_options(subparser: argparse.ArgumentParser) -> None:
         default=0.01,
         help="per-event fault probability for --faults (default 0.01)",
     )
+    subparser.add_argument(
+        "--fault-profile",
+        choices=FAULT_PROFILES,
+        default="timing",
+        help="fault families armed under --faults: timing delays only, "
+        "destructive (corrupt/drop/blackout with architectural recovery), "
+        "or both (default timing)",
+    )
 
 
 def _make_runner(args, benchmarks):
     faults = None
     if args.faults:
-        faults = FaultConfig(seed=args.fault_seed, rate=args.fault_rate)
+        faults = FaultConfig(
+            seed=args.fault_seed,
+            rate=args.fault_rate,
+            profile=args.fault_profile,
+        )
     return api.session(
         benchmarks,
         cache_dir=None if args.no_cache else args.cache_dir,
@@ -197,6 +215,9 @@ def _cmd_run(args, out) -> int:
     fault_line = render_fault_line(runner)
     if fault_line:
         print(fault_line, file=out)
+    recovery_line = render_recovery_line(runner)
+    if recovery_line:
+        print(recovery_line, file=out)
     print(render_failure_line(runner), file=out)
     if args.stalls:
         for category in STALL_CATEGORIES:
@@ -285,6 +306,9 @@ def _cmd_figure(args, out) -> int:
     fault_line = render_fault_line(runner)
     if fault_line:
         print(fault_line, file=out)
+    recovery_line = render_recovery_line(runner)
+    if recovery_line:
+        print(recovery_line, file=out)
     print(render_failure_line(runner), file=out)
     return 0
 

@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import hashlib
 import time
-import warnings
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
@@ -65,32 +64,6 @@ Cell = Tuple[str, int, str]
 #: from a different major (or from before versioning existed).  3.0:
 #: added schema_version itself and the optional observability metrics.
 SCHEMA_VERSION = "3.0"
-
-
-def _pop_alias(kwargs: Dict, old: str, new: str, value, where: str):
-    """Resolve one deprecated keyword alias: ``old`` still works for one
-    release but warns; passing both spellings is an error."""
-    if old in kwargs:
-        alias_value = kwargs.pop(old)
-        if value is not None:
-            raise TypeError(
-                f"{where} got both {new!r} and its deprecated alias {old!r}"
-            )
-        warnings.warn(
-            f"{where}: keyword {old!r} is deprecated, use {new!r}",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return alias_value
-    return value
-
-
-def _reject_unknown(kwargs: Dict, where: str) -> None:
-    if kwargs:
-        raise TypeError(
-            f"{where} got unexpected keyword argument(s) "
-            f"{sorted(kwargs)!r}"
-        )
 
 
 @dataclass
@@ -163,6 +136,9 @@ class FailureSummary:
     retried: List[str] = field(default_factory=list)
     degraded: List[str] = field(default_factory=list)
     worker_crashes: int = 0
+    #: Cache entries moved aside as unreadable (mirrors
+    #: ``ResultCache.quarantined``; synced by ``failure_summary``).
+    cache_quarantined: int = 0
 
     def any(self) -> bool:
         return bool(
@@ -170,6 +146,7 @@ class FailureSummary:
             or self.retried
             or self.degraded
             or self.worker_crashes
+            or self.cache_quarantined
         )
 
 
@@ -213,12 +190,7 @@ class ExperimentRunner:
         retry_backoff: float = 0.25,
         faults: Optional[FaultConfig] = None,
         obs=None,
-        **deprecated,
     ) -> None:
-        faults = _pop_alias(
-            deprecated, "fault_config", "faults", faults, "ExperimentRunner()"
-        )
-        _reject_unknown(deprecated, "ExperimentRunner()")
         if obs is not None:
             # An Observability bus observes exactly one run, and a cached
             # or pooled result would come back without its events -- so a
@@ -329,20 +301,7 @@ class ExperimentRunner:
         cell_seed = int.from_bytes(digest[:4], "big")
         return FaultPlan(replace(self.fault_config, seed=cell_seed))
 
-    def run(
-        self,
-        benchmark: Optional[str] = None,
-        cores: Optional[int] = None,
-        strategy: Optional[str] = None,
-        **deprecated,
-    ) -> RunResult:
-        benchmark = _pop_alias(
-            deprecated, "name", "benchmark", benchmark, "ExperimentRunner.run()"
-        )
-        cores = _pop_alias(
-            deprecated, "n_cores", "cores", cores, "ExperimentRunner.run()"
-        )
-        _reject_unknown(deprecated, "ExperimentRunner.run()")
+    def run(self, benchmark: str, cores: int, strategy: str) -> RunResult:
         name, n_cores = benchmark, cores
         key = (name, n_cores, strategy)
         if key in self._runs:
@@ -579,23 +538,32 @@ class ExperimentRunner:
             / self.run(benchmark, cores, strategy).cycles
         )
 
+    def failure_summary(self) -> FailureSummary:
+        """The failure ledger with the cache's quarantine tally synced in
+        (the cache counts its own quarantines; the summary mirrors them
+        so one object describes everything absorbed)."""
+        if self.cache is not None:
+            self.failures.cache_quarantined = self.cache.quarantined
+        return self.failures
+
+    def recovery_totals(self) -> Dict[str, int]:
+        """Destructive-fault recovery counters summed over every run this
+        session has seen (memoized, cached, or pooled alike -- the
+        counters ride ``MachineStats.recovery`` through serialization)."""
+        totals: Dict[str, int] = {}
+        for result in self._runs.values():
+            for counter, value in result.stats.recovery.items():
+                totals[counter] = totals.get(counter, 0) + value
+        return totals
+
     # -- figures ------------------------------------------------------------------
 
-    def _figure_cores(
-        self, cores: Optional[int], deprecated: Dict, where: str, default: int
-    ) -> int:
-        cores = _pop_alias(deprecated, "n_cores", "cores", cores, where)
-        _reject_unknown(deprecated, where)
-        return default if cores is None else cores
-
     def fig10_11_speedups(
-        self, cores: Optional[int] = None, **deprecated
+        self, cores: Optional[int] = None
     ) -> Dict[str, Dict[str, float]]:
         """Figure 10 (2 cores) / Figure 11 (4 cores): per-benchmark speedup
         when exploiting each parallelism type individually."""
-        n_cores = self._figure_cores(
-            cores, deprecated, "fig10_11_speedups()", 4
-        )
+        n_cores = 4 if cores is None else cores
         self.prefetch(
             [(name, 1, "baseline") for name in self.names]
             + [
@@ -613,11 +581,11 @@ class ExperimentRunner:
         return table
 
     def fig12_stalls(
-        self, cores: Optional[int] = None, **deprecated
+        self, cores: Optional[int] = None
     ) -> Dict[str, Dict[str, Dict[str, float]]]:
         """Figure 12: stall cycles (per-core mean) under coupled-mode ILP
         vs decoupled fine-grain TLP, normalized to serial execution time."""
-        n_cores = self._figure_cores(cores, deprecated, "fig12_stalls()", 4)
+        n_cores = 4 if cores is None else cores
         self.prefetch(
             [(name, 1, "baseline") for name in self.names]
             + [
@@ -654,10 +622,10 @@ class ExperimentRunner:
         }
 
     def fig14_mode_time(
-        self, cores: Optional[int] = None, **deprecated
+        self, cores: Optional[int] = None
     ) -> Dict[str, Dict[str, float]]:
         """Figure 14: fraction of hybrid execution spent in each mode."""
-        n_cores = self._figure_cores(cores, deprecated, "fig14_mode_time()", 4)
+        n_cores = 4 if cores is None else cores
         self.prefetch([(name, n_cores, "hybrid") for name in self.names])
         table = {}
         for name in self.names:
@@ -669,7 +637,7 @@ class ExperimentRunner:
         return table
 
     def fig3_breakdown(
-        self, cores: Optional[int] = None, **deprecated
+        self, cores: Optional[int] = None
     ) -> Dict[str, Dict[str, float]]:
         """Figure 3: fraction of serial execution best accelerated by each
         parallelism type on a 4-core system.
@@ -678,7 +646,7 @@ class ExperimentRunner:
         single-strategy compilation; the region's serial-time fraction is
         attributed to the type that ran it fastest (or to "single core"
         when no strategy beats the baseline)."""
-        n_cores = self._figure_cores(cores, deprecated, "fig3_breakdown()", 4)
+        n_cores = 4 if cores is None else cores
         self.prefetch(
             [(name, 1, "baseline") for name in self.names]
             + [

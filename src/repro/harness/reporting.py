@@ -42,14 +42,15 @@ def render_table(
 
 
 def render_cache_line(runner) -> str:
-    """The harness's cache-traffic line: hits/misses and the cache root,
-    or an explicit marker when caching is off (``--no-cache``)."""
+    """The harness's cache-traffic line: hits/misses, how many entries
+    were quarantined as unreadable, and the cache root -- or an explicit
+    marker when caching is off (``--no-cache``)."""
     cache = getattr(runner, "cache", None)
     if cache is None:
         return "cache     : disabled"
     return (
-        f"cache     : {cache.hits} hit(s), {cache.misses} miss(es) "
-        f"in {cache.root}"
+        f"cache     : {cache.hits} hit(s), {cache.misses} miss(es), "
+        f"quarantined={cache.quarantined} in {cache.root}"
     )
 
 
@@ -57,12 +58,19 @@ def render_failure_line(runner) -> str:
     """One line summarizing what the hardened prefetch had to absorb --
     timeouts, retries, serial degradations, worker crashes -- or an
     explicit all-clear (silence would be ambiguous after a chaos run)."""
-    failures = getattr(runner, "failures", None)
+    summary = getattr(runner, "failure_summary", None)
+    failures = summary() if callable(summary) else getattr(
+        runner, "failures", None
+    )
     if failures is None or not failures.any():
         return "failures  : none"
     parts = []
     if failures.worker_crashes:
         parts.append(f"{failures.worker_crashes} worker crash(es)")
+    if failures.cache_quarantined:
+        parts.append(
+            f"{failures.cache_quarantined} quarantined cache entry(ies)"
+        )
     if failures.timed_out:
         parts.append(f"{len(failures.timed_out)} timeout(s)")
     if failures.retried:
@@ -83,9 +91,34 @@ def render_fault_line(runner) -> str:
     if config is None:
         return ""
     return (
-        f"faults    : seed={config.seed} rate={config.rate} "
-        f"tm_rate={config.tm_rate} -> "
+        f"faults    : profile={config.profile} seed={config.seed} "
+        f"rate={config.rate} tm_rate={config.tm_rate} -> "
         f"{getattr(runner, 'fault_injections', 0)} injection(s)"
+    )
+
+
+def render_recovery_line(runner) -> str:
+    """The destructive-chaos report line (empty unless the session armed
+    destructive faults): every detection/repair counter the recovery
+    subsystem accumulated, summed across the session's runs.  Example::
+
+        recovery  : crc_errors=12 drops=9 retransmits=21 fallbacks=0 \
+blackouts=4 (86 cycles dark) watchdog=4 rollbacks=4 remaps=2 degraded=0
+    """
+    config = getattr(runner, "fault_config", None)
+    if config is None or getattr(config, "profile", "timing") == "timing":
+        return ""
+    totals = runner.recovery_totals()
+    get = totals.get
+    return (
+        f"recovery  : crc_errors={get('crc_errors', 0)} "
+        f"drops={get('drops', 0)} retransmits={get('retransmits', 0)} "
+        f"fallbacks={get('fallbacks', 0)} blackouts={get('blackouts', 0)} "
+        f"({get('blackout_cycles', 0)} cycles dark) "
+        f"watchdog={get('watchdog_detections', 0)} "
+        f"rollbacks={get('chunk_rollbacks', 0)} "
+        f"remaps={get('chunks_remapped', 0)} "
+        f"degraded={get('regions_degraded', 0)}"
     )
 
 

@@ -24,7 +24,7 @@ On top of the bus:
   operand-network messages, and counter tracks from the series.
 """
 
-from .events import ObsConfig, Observability
+from .events import ObsConfig, Observability, RecoveryEvent
 from .perfetto import perfetto_trace, write_trace
 from .series import MetricsSeries
 from .timeline import ReconciliationError, TimelineSummary, reconcile, summarize
@@ -34,6 +34,7 @@ __all__ = [
     "Observability",
     "ObsConfig",
     "ReconciliationError",
+    "RecoveryEvent",
     "TimelineSummary",
     "perfetto_trace",
     "reconcile",

@@ -108,6 +108,26 @@ class FaultEvent:
     delay: int
 
 
+@dataclass
+class RecoveryEvent:
+    """One destructive-fault detection or repair action.
+
+    ``kind`` is one of the keys of
+    :data:`repro.sim.recovery.EVENT_COUNTER_FOR_KIND` (crc_error,
+    msg_drop, retransmit, fallback, blackout, watchdog, chunk_rollback,
+    remap, degrade); ``core`` is the detecting/affected core; ``cycles``
+    carries a blackout's dark-window length (0 for instantaneous
+    events).  Per-kind event counts reconcile exactly against
+    ``MachineStats.recovery`` (:func:`repro.obs.timeline.reconcile`).
+    """
+
+    cycle: int
+    kind: str
+    core: int
+    detail: str
+    cycles: int = 0
+
+
 class Observability:
     """Event bus for one simulation run.
 
@@ -134,6 +154,7 @@ class Observability:
         self.net_recvs: List[NetRecv] = []
         self.cache_misses: List[MissEvent] = []
         self.fault_events: List[FaultEvent] = []
+        self.recovery_events: List[RecoveryEvent] = []
         self.series: Optional[MetricsSeries] = None
         self.truncated = False
         self._n_events = 0
@@ -162,6 +183,8 @@ class Observability:
             icache.core_index = index
         if machine.faults is not None:
             machine.faults.obs = self
+        if machine.recovery is not None:
+            machine.recovery.obs = self
         for core in machine.cores:
             self._hook_stall(core.id, core.stats)
         if self.config.single_step:
@@ -256,6 +279,13 @@ class Observability:
     def fault(self, channel: str, delay: int) -> None:
         self._append(
             self.fault_events, FaultEvent(self.machine.cycle, channel, delay)
+        )
+
+    def recovery(
+        self, cycle: int, kind: str, core: int, detail: str, cycles: int = 0
+    ) -> None:
+        self._append(
+            self.recovery_events, RecoveryEvent(cycle, kind, core, detail, cycles)
         )
 
     # -- finalization --------------------------------------------------------------

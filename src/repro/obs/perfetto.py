@@ -12,7 +12,13 @@ instance into the Trace Event Format dict Perfetto (ui.perfetto.dev) and
   operand-network messages (send -> receive), each with a stable id;
 * counter ("C") tracks sampled from the metrics series (queue occupancy,
   in-flight messages, live cores);
-* instant ("i") events for landed fault injections.
+* instant ("i") events for landed fault injections;
+* a *recovery* track (tid = n_cores + 1) carrying blackout dark windows
+  as complete spans and every other detection/repair action (CRC error,
+  drop, retransmit, watchdog, rollback, remap, degrade) as instants.
+  The track -- including its thread_name metadata -- only exists when
+  recovery events were recorded, so fault-free traces are byte-identical
+  to pre-recovery exports.
 
 Timestamps are simulation cycles written as microseconds (one cycle ==
 1us in the viewer); ``displayTimeUnit`` is set to ns so sub-window zooms
@@ -186,6 +192,37 @@ def perfetto_trace(obs) -> Dict[str, object]:
                 "args": {"channel": fault.channel, "delay": fault.delay},
             }
         )
+
+    if obs.recovery_events:
+        recovery_tid = obs.n_cores + 1
+        events.append(_meta("thread_name", recovery_tid, "recovery"))
+        for event in obs.recovery_events:
+            if event.kind == "blackout":
+                events.append(
+                    {
+                        "name": f"blackout core {event.core}",
+                        "cat": "recovery",
+                        "ph": "X",
+                        "ts": event.cycle,
+                        "dur": event.cycles,
+                        "pid": _PID,
+                        "tid": recovery_tid,
+                        "args": {"core": event.core, "detail": event.detail},
+                    }
+                )
+            else:
+                events.append(
+                    {
+                        "name": event.kind,
+                        "cat": "recovery",
+                        "ph": "i",
+                        "s": "g",
+                        "ts": event.cycle,
+                        "pid": _PID,
+                        "tid": recovery_tid,
+                        "args": {"core": event.core, "detail": event.detail},
+                    }
+                )
 
     if obs.series is not None:
         for cycle, occupancy, in_flight, live in zip(

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from ..sim.recovery import EVENT_COUNTER_FOR_KIND
 from ..sim.stats import STALL_CATEGORIES, MachineStats
 
 
@@ -39,10 +40,14 @@ class TimelineSummary:
     tx_begins: int = 0
     tx_commits: int = 0
     tx_aborts: int = 0
+    #: Recovery counters folded from the recovery events (same keys as
+    #: ``MachineStats.recovery``).  Empty -- and omitted from the dict
+    #: payload -- for runs without destructive faults.
+    recovery: Dict[str, int] = field(default_factory=dict)
     truncated: bool = False
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data = {
             "cycles": self.cycles,
             "mode_cycles": dict(self.mode_cycles),
             "mode_segments": [list(seg) for seg in self.mode_segments],
@@ -58,6 +63,9 @@ class TimelineSummary:
             "tx_aborts": self.tx_aborts,
             "truncated": self.truncated,
         }
+        if self.recovery:
+            data["recovery"] = dict(self.recovery)
+        return data
 
 
 def summarize(obs) -> TimelineSummary:
@@ -82,6 +90,15 @@ def summarize(obs) -> TimelineSummary:
         region[event.kind] += 1
         counts[event.kind] += 1
 
+    recovery: Dict[str, int] = {}
+    for event in obs.recovery_events:
+        counter = EVENT_COUNTER_FOR_KIND[event.kind]
+        recovery[counter] = recovery.get(counter, 0) + 1
+        if event.kind == "blackout":
+            recovery["blackout_cycles"] = (
+                recovery.get("blackout_cycles", 0) + event.cycles
+            )
+
     return TimelineSummary(
         cycles=obs.final_cycle if obs.final_cycle is not None else 0,
         mode_cycles=mode_cycles,
@@ -93,6 +110,7 @@ def summarize(obs) -> TimelineSummary:
         tx_begins=counts["begin"],
         tx_commits=counts["commit"],
         tx_aborts=counts["abort"],
+        recovery=recovery,
         truncated=obs.truncated,
     )
 
@@ -144,6 +162,14 @@ def reconcile(summary: TimelineSummary, stats: MachineStats) -> TimelineSummary:
                 f"tx_aborts: timeline {summary.tx_aborts} != "
                 f"stats {stats.tx_aborts}"
             )
+        for counter in sorted(set(summary.recovery) | set(stats.recovery)):
+            observed = summary.recovery.get(counter, 0)
+            expected = stats.recovery.get(counter, 0)
+            if observed != expected:
+                problems.append(
+                    f"recovery[{counter}]: timeline {observed} != "
+                    f"stats {expected}"
+                )
     if problems:
         raise ReconciliationError(
             "observability timeline disagrees with MachineStats:\n  "

@@ -2,10 +2,11 @@
 
 from .caches import L1ICache, SetAssocCache, SharedL2, SnoopBus
 from .core import BARRIER_WAIT, HALTED, LISTENING, RUNNING, Core
-from .faults import FaultConfig, FaultPlan
+from .faults import FAULT_PROFILES, FaultConfig, FaultPlan
 from .machine import Deadlock, OutOfCycles, SimulatorError, VoltronMachine
 from .memory import MainMemory, WriteBuffer
 from .network import DirectWires, Message, NetworkError, OperandNetwork
+from .recovery import RECOVERY_COUNTERS, RecoveryManager
 from .stats import STALL_CATEGORIES, CoreStats, MachineStats
 from .tm import TransactionError, TransactionalMemory
 
@@ -20,9 +21,12 @@ __all__ = [
     "RUNNING",
     "Core",
     "Deadlock",
+    "FAULT_PROFILES",
     "FaultConfig",
     "FaultPlan",
     "OutOfCycles",
+    "RECOVERY_COUNTERS",
+    "RecoveryManager",
     "SimulatorError",
     "VoltronMachine",
     "MainMemory",

@@ -45,6 +45,10 @@ class TxCheckpoint:
 
     registers: Dict[Reg, Value]
     restart_label: str
+    #: Call depth at TX_BEGIN: rollback (and therefore blackout
+    #: recovery, which reuses it) is only valid at this depth, where the
+    #: restart label resolves in the checkpointed frame's function.
+    call_depth: int = 0
 
 
 class Core:
@@ -183,7 +187,9 @@ class Core:
 
     def checkpoint_registers(self, restart_label: str) -> None:
         self.tx_checkpoint = TxCheckpoint(
-            registers=self.regs.snapshot(), restart_label=restart_label
+            registers=self.regs.snapshot(),
+            restart_label=restart_label,
+            call_depth=self.call_depth,
         )
 
     def rollback_registers(self) -> str:

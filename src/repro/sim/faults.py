@@ -27,7 +27,26 @@ involved).  Injection sites:
   few cycles as if a member were blocked
   (:meth:`repro.sim.machine.VoltronMachine._step_group`).
 
-Every fault perturbs *timing only*; the chaos-differential suite
+A second family of channels is *destructive*: instead of perturbing
+timing they damage architectural events, and the recovery subsystem
+(:mod:`repro.sim.recovery`) must detect and repair every one:
+
+* **payload corruption** -- a queue-mode message arrives with a
+  scrambled payload; the receiver's CRC check catches it and NACKs,
+  forcing a retransmission under bounded exponential backoff;
+* **message drops** -- a SEND/SPAWN/RELEASE message vanishes in the
+  router; the sender's retransmission timer recovers it;
+* **core blackouts** -- a core executing a speculative DOALL chunk goes
+  dark for a bounded window, wiping its register file and in-flight
+  scoreboard state; the stall-bus watchdog detects the missed
+  heartbeats and recovers the chunk through the TM
+  abort -> register-rollback -> re-execute path.
+
+``FaultConfig.profile`` selects the family: ``"timing"`` (the default,
+exactly the pre-existing behaviour), ``"destructive"``, or ``"both"``.
+
+Every fault -- timing *or* destructive -- leaves architectural results
+intact; the chaos-differential suite
 (``tests/properties/test_prop_chaos.py``) proves the strongest possible
 property: under any fault plan, final memory images and reference
 outputs are bit-identical to the fault-free run.
@@ -50,6 +69,9 @@ from typing import Dict
 #: A countdown no run ever reaches (rate-0 channels never fire).
 _NEVER = 1 << 62
 
+#: Valid values for :attr:`FaultConfig.profile`.
+FAULT_PROFILES = ("timing", "destructive", "both")
+
 
 @dataclass(frozen=True)
 class FaultConfig:
@@ -59,6 +81,22 @@ class FaultConfig:
     (memory, instruction fetch, network, stall bus); ``tm_rate`` is the
     per-commit probability of a spurious conflict.  The ``max_*`` bounds
     cap each injected delay in cycles.
+
+    ``profile`` selects the channel family: ``"timing"`` arms only the
+    latency channels above (the default, and exactly the pre-existing
+    behaviour), ``"destructive"`` arms only the destructive channels,
+    ``"both"`` arms everything.  Destructive knobs: ``corrupt_rate`` /
+    ``drop_rate`` are per-transmission-attempt probabilities of payload
+    corruption / message loss; ``blackout_rate`` is the per-eligible-
+    core-cycle probability of a transient blackout lasting up to
+    ``max_blackout`` cycles.  ``retransmit_budget`` bounds failed
+    attempts per message before the final retransmission is sent
+    reliably (the deadlock escape); ``backoff_base`` scales the
+    exponential retransmission backoff; ``heartbeat_misses`` is how many
+    missed stall-bus heartbeats the watchdog tolerates before declaring
+    a core dead; ``blackout_budget`` is how many blackouts one core may
+    suffer before the scheduler degrades it at the next MODE_SWITCH
+    barrier.
     """
 
     seed: int = 0
@@ -67,13 +105,30 @@ class FaultConfig:
     max_mem_delay: int = 24
     max_net_delay: int = 12
     max_stall_hold: int = 8
+    profile: str = "timing"
+    corrupt_rate: float = 0.02
+    drop_rate: float = 0.02
+    blackout_rate: float = 0.0001
+    max_blackout: int = 64
+    retransmit_budget: int = 4
+    backoff_base: int = 2
+    heartbeat_misses: int = 4
+    blackout_budget: int = 2
 
     def __post_init__(self) -> None:
-        for name in ("rate", "tm_rate"):
+        if self.profile not in FAULT_PROFILES:
+            raise ValueError(
+                f"profile must be one of {FAULT_PROFILES}, "
+                f"got {self.profile!r}"
+            )
+        for name in ("rate", "tm_rate", "corrupt_rate", "drop_rate",
+                     "blackout_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
-        for name in ("max_mem_delay", "max_net_delay", "max_stall_hold"):
+        for name in ("max_mem_delay", "max_net_delay", "max_stall_hold",
+                     "max_blackout", "retransmit_budget", "backoff_base",
+                     "heartbeat_misses", "blackout_budget"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
 
@@ -133,15 +188,30 @@ class FaultPlan:
         #: when attached, every landed injection emits a probe event.
         self.obs = None
         seed = config.seed
-        self._mem = _Channel(seed, "mem", config.rate, config.max_mem_delay)
-        self._ifetch = _Channel(
-            seed, "ifetch", config.rate, config.max_mem_delay
+        timing = config.profile in ("timing", "both")
+        destructive = config.profile in ("destructive", "both")
+        rate = config.rate if timing else 0.0
+        tm_rate = config.tm_rate if timing else 0.0
+        self._mem = _Channel(seed, "mem", rate, config.max_mem_delay)
+        self._ifetch = _Channel(seed, "ifetch", rate, config.max_mem_delay)
+        self._net = _Channel(seed, "net", rate, config.max_net_delay)
+        self._stall = _Channel(seed, "stall-bus", rate, config.max_stall_hold)
+        self._tm = _Channel(seed, "tm", tm_rate, 1)
+        corrupt = config.corrupt_rate if destructive else 0.0
+        drop = config.drop_rate if destructive else 0.0
+        blackout = config.blackout_rate if destructive else 0.0
+        self._corrupt = _Channel(seed, "corrupt", corrupt, 1)
+        self._drop = _Channel(seed, "drop", drop, 1)
+        self._blackout = _Channel(seed, "blackout", blackout,
+                                  config.max_blackout)
+        #: True when the timing channel family is armed.
+        self.timing = timing
+        #: True when any destructive channel is armed: the machine then
+        #: builds a :class:`~repro.sim.recovery.RecoveryManager` and the
+        #: operand network stamps CRCs onto outgoing messages.
+        self.destructive = destructive and (
+            corrupt > 0.0 or drop > 0.0 or blackout > 0.0
         )
-        self._net = _Channel(seed, "net", config.rate, config.max_net_delay)
-        self._stall = _Channel(
-            seed, "stall-bus", config.rate, config.max_stall_hold
-        )
-        self._tm = _Channel(seed, "tm", config.tm_rate, 1)
 
     @classmethod
     def from_seed(cls, seed: int, rate: float = 0.01, **kwargs) -> "FaultPlan":
@@ -184,6 +254,31 @@ class FaultPlan:
             self.obs.fault("tm", 1)
         return fired
 
+    # -- destructive probes ------------------------------------------------------
+
+    def xmit_outcome(self) -> "str | None":
+        """Fate of one message transmission attempt: None (intact, the
+        overwhelmingly common case), ``'drop'`` (lost in the router), or
+        ``'corrupt'`` (delivered with a scrambled payload).  Drops are
+        sampled first so the two channels stay independent streams."""
+        if self._drop.fire():
+            if self.obs is not None:
+                self.obs.fault("drop", 1)
+            return "drop"
+        if self._corrupt.fire():
+            if self.obs is not None:
+                self.obs.fault("corrupt", 1)
+            return "corrupt"
+        return None
+
+    def blackout_cycles(self) -> int:
+        """Duration of a transient core blackout starting this cycle
+        (0 = no fault).  Probed once per eligible core-cycle."""
+        delay = self._blackout.fire()
+        if delay and self.obs is not None:
+            self.obs.fault("blackout", delay)
+        return delay
+
     # -- accounting -------------------------------------------------------------
 
     def injections(self) -> int:
@@ -201,6 +296,9 @@ class FaultPlan:
             ("net", self._net),
             ("stall_bus", self._stall),
             ("tm", self._tm),
+            ("corrupt", self._corrupt),
+            ("drop", self._drop),
+            ("blackout", self._blackout),
         ):
             out[name] = channel.fires
         out["injections"] = self.injections()
@@ -208,7 +306,8 @@ class FaultPlan:
         return out
 
     def _channels(self):
-        return (self._mem, self._ifetch, self._net, self._stall, self._tm)
+        return (self._mem, self._ifetch, self._net, self._stall, self._tm,
+                self._corrupt, self._drop, self._blackout)
 
     def __repr__(self) -> str:
         return f"FaultPlan({self.config!r}, injections={self.injections()})"

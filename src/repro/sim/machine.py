@@ -68,6 +68,7 @@ from .core import BARRIER_WAIT, HALTED, LISTENING, RUNNING, Core
 from .faults import FaultConfig, FaultPlan
 from .memory import MainMemory
 from .network import NetworkError, OperandNetwork
+from .recovery import RecoveryManager
 from .stats import MachineStats
 from .tm import TransactionalMemory
 
@@ -138,6 +139,11 @@ class VoltronMachine:
         if isinstance(faults, FaultConfig):
             faults = FaultPlan(faults)
         self.faults = faults
+        # Destructive faults additionally get a recovery subsystem: the
+        # link layer on the network, the blackout watchdog, and the
+        # degradation scheduler.  None (the overwhelmingly common case)
+        # keeps every hook a single is-None check.
+        self.recovery: Optional[RecoveryManager] = None
         if faults is not None:
             self.fast_forward = False
             self.bus.faults = faults
@@ -145,6 +151,9 @@ class VoltronMachine:
                 icache.faults = faults
             self.network.faults = faults
             self.tm.faults = faults
+            if faults.destructive:
+                self.recovery = RecoveryManager(self, faults)
+                self.network.recovery = self.recovery
 
         self.cores = [Core(i) for i in range(config.n_cores)]
         main_params = compiled.program.main().params
@@ -275,6 +284,8 @@ class VoltronMachine:
                 if status0 == HALTED or status0 == LISTENING:
                     self._check_deadlock()
                 self.network.deliver(self.cycle)
+                if self.recovery is not None:
+                    self.recovery.tick(self.cycle)
                 self._restore_done_this_cycle = False
                 if self._deferred_release:
                     for core_id in self._deferred_release:
@@ -314,6 +325,9 @@ class VoltronMachine:
                     mode_count = 0
                     if self._mode_next != self.mode:
                         self.stats.mode_switches += 1
+                        if self.recovery is not None:
+                            # Degradation re-arms at mode barriers.
+                            self.recovery.on_mode_switch(self.cycle + 1)
                         if obs is not None:
                             # This cycle still counts under the old mode;
                             # the switch takes effect at cycle + 1.
@@ -337,6 +351,8 @@ class VoltronMachine:
         self.stats.cycles = self.cycle
         self.stats.tx_commits = self.tm.commits
         self.stats.tx_aborts = self.tm.aborts
+        if self.recovery is not None:
+            self.stats.recovery = self.recovery.counters_dict()
         if obs is not None:
             obs.finalize(self)
         return self.stats
@@ -734,6 +750,15 @@ class VoltronMachine:
             self._step_listening(core)
             return
 
+        # Destructive faults: a RUNNING, issue-ready core inside a
+        # speculative chunk may black out this cycle (wiping registers
+        # and scoreboard); the watchdog recovers it via TM rollback.
+        if self.recovery is not None and self.recovery.maybe_blackout(
+            core, cycle
+        ):
+            core.stats.stall("latency")
+            return
+
         # Zero-length blocks (pure structure) fall through without cost.
         frame = core.frame
         if frame.slot >= len(frame.block.slots):
@@ -769,6 +794,15 @@ class VoltronMachine:
             self._arrive_call_barrier(core, op)
             return
         if opcode is Opcode.TX_COMMIT and not self.tm.may_commit(core.id):
+            core.stats.stall("tx_wait")
+            return
+        if (
+            opcode is Opcode.TX_BEGIN
+            and self.recovery is not None
+            and self.recovery.defer_tx_begin(core, op)
+        ):
+            # Graceful degradation: a degraded core issues its chunks
+            # under the serialized fewer-core schedule.
             core.stats.stall("tx_wait")
             return
         if opcode in _QUEUE_SEND_OPS:

@@ -23,6 +23,7 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 from ..arch.config import NetworkConfig
 from ..arch.mesh import Mesh
 from ..isa.registers import Value
+from .recovery import message_crc
 
 
 class NetworkError(Exception):
@@ -46,6 +47,12 @@ class Message:
     #: bulk deliver after a fast-forwarded stall window lands messages in
     #: exactly the order per-cycle delivery would have.
     seq: int = 0
+    #: Link-layer CRC over (src, dst, kind, tag, seq, value), stamped at
+    #: SEND time when destructive faults are armed (0 otherwise).
+    crc: int = 0
+    #: Transmission attempts so far (1 = the original send).  Past the
+    #: retransmit budget the final attempt is delivered reliably.
+    attempts: int = 1
 
 
 class DirectWires:
@@ -138,6 +145,11 @@ class OperandNetwork:
         #: (_fifo_floor tracks the pair's latest arrival).
         self.faults = None
         self._fifo_floor: Dict[Tuple[int, int], int] = {}
+        #: Optional :class:`~repro.sim.recovery.RecoveryManager`: when
+        #: attached (destructive faults armed), SENDs stamp a CRC and
+        #: every delivery becomes a transmission attempt the link layer
+        #: adjudicates (CRC check / drop detection / retransmission).
+        self.recovery = None
         #: Optional :class:`~repro.obs.events.Observability` event bus:
         #: when attached, sends and receives emit probe events.
         self.obs = None
@@ -182,17 +194,18 @@ class OperandNetwork:
                 arrival = floor
             self._fifo_floor[key] = arrival
         self._seq += 1
-        self._in_flight.append(
-            Message(
-                src=src,
-                dst=dst,
-                value=value,
-                kind=kind,
-                ready_cycle=arrival,
-                tag=tag,
-                seq=self._seq,
-            )
+        message = Message(
+            src=src,
+            dst=dst,
+            value=value,
+            kind=kind,
+            ready_cycle=arrival,
+            tag=tag,
+            seq=self._seq,
         )
+        if self.recovery is not None:
+            message.crc = message_crc(message)
+        self._in_flight.append(message)
         if self.obs is not None:
             self.obs.net_send(cycle, src, dst, kind, self._seq, arrival)
 
@@ -212,8 +225,51 @@ class OperandNetwork:
             return
         self._in_flight = [m for m in self._in_flight if m.ready_cycle > cycle]
         matured.sort(key=lambda m: (m.ready_cycle, m.seq))
+        recovery = self.recovery
+        if recovery is None:
+            for message in matured:
+                self.receive_queues[message.dst].append(message)
+            return
+        # Destructive-fault link layer: each arrival is one transmission
+        # attempt.  A failed attempt re-enters flight as a retransmission
+        # and -- the physical channel being a FIFO -- drags every later
+        # message of the same (src, dst) pair behind it: matured
+        # successors are held here, in-flight successors inside
+        # ``requeue`` (delivery sorts by (ready_cycle, seq), so equal
+        # arrivals still unload in send order).
+        held: Dict[Tuple[int, int], int] = {}
         for message in matured:
-            self.receive_queues[message.dst].append(message)
+            key = (message.src, message.dst)
+            floor = held.get(key)
+            if floor is not None:
+                message.ready_cycle = floor
+                self._in_flight.append(message)
+                continue
+            if recovery.link_accept(self, message, cycle):
+                self.receive_queues[message.dst].append(message)
+            else:
+                held[key] = message.ready_cycle
+
+    def requeue(self, message: Message) -> None:
+        """Re-enter a failed transmission attempt as a retransmission
+        arriving at its (already advanced) ``ready_cycle``.  Later
+        messages of the same (src, dst) pair still in flight are pushed
+        to arrive no earlier, and the pair's FIFO floor advances so
+        future sends queue up behind the retransmission."""
+        arrival = message.ready_cycle
+        self._in_flight.append(message)
+        for other in self._in_flight:
+            if (
+                other.seq > message.seq
+                and other.src == message.src
+                and other.dst == message.dst
+                and other.ready_cycle < arrival
+            ):
+                other.ready_cycle = arrival
+        key = (message.src, message.dst)
+        floor = self._fifo_floor.get(key)
+        if floor is None or arrival > floor:
+            self._fifo_floor[key] = arrival
 
     def try_receive(
         self,

@@ -100,6 +100,11 @@ class MachineStats:
     #: Cycles attributed to core 0's current (function, block label) --
     #: used for the per-region accounting behind the Fig. 3 breakdown.
     block_cycles: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: Destructive-fault recovery counters (keys from
+    #: ``repro.sim.recovery.RECOVERY_COUNTERS``).  Empty -- and omitted
+    #: from serialization -- unless a RecoveryManager ran, so fault-free
+    #: payloads stay bit-identical to pre-recovery goldens.
+    recovery: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.cores:
@@ -140,7 +145,7 @@ class MachineStats:
     def to_dict(self) -> Dict[str, object]:
         """A JSON-safe dump round-tripping every field (tuple keys in
         ``block_cycles`` become tab-joined strings)."""
-        return {
+        data = {
             "n_cores": self.n_cores,
             "cycles": self.cycles,
             "mode_cycles": dict(self.mode_cycles),
@@ -154,6 +159,9 @@ class MachineStats:
                 for (function, label), cycles in self.block_cycles.items()
             },
         }
+        if self.recovery:
+            data["recovery"] = dict(self.recovery)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "MachineStats":
@@ -171,4 +179,5 @@ class MachineStats:
             tuple(key.split("\t", 1)): cycles
             for key, cycles in data["block_cycles"].items()
         }
+        stats.recovery = dict(data.get("recovery", {}))
         return stats

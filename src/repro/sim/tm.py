@@ -137,6 +137,18 @@ class TransactionalMemory:
     def in_transaction(self, core: int) -> bool:
         return core in self.active
 
+    def serial_slot_ready(self, region: int, order: int,
+                          n_chunks: int) -> bool:
+        """Whether chunk ``order`` of ``region`` may *begin* under a
+        strictly serialized chunk schedule (graceful degradation after
+        repeated core blackouts -- see
+        :meth:`repro.sim.recovery.RecoveryManager.defer_tx_begin`): only
+        the next chunk in commit order may start.  A fresh region (or a
+        wrapped re-entry not yet begun) admits chunk 0."""
+        if self._region != region:
+            return order == 0
+        return order == self._next_commit_order % max(1, n_chunks)
+
     def may_commit(self, core: int) -> bool:
         """Ordered commit: chunk k of each region entry waits for chunks
         0..k-1 of that entry (the counter wraps per entry, so re-entering

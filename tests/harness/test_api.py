@@ -1,11 +1,12 @@
-"""The ``repro.api`` facade: stable signatures, kwarg deprecations,
-result-schema versioning, and observability integration.
+"""The ``repro.api`` facade: stable signatures, result-schema
+versioning, and observability integration.
 
 These tests are the compatibility contract from the package docstring:
-``cores=`` / ``faults=`` are canonical (old spellings warn for one
-release, both at once is an error), serialized ``RunResult`` payloads
-carry ``schema_version`` and readers reject foreign majors, and a
-profiled run is strictly serial and uncached.
+``cores=`` / ``faults=`` are canonical (the deprecated ``n_cores=`` /
+``name=`` / ``fault_config=`` aliases shipped their warning release and
+are gone -- they now fail like any unknown keyword), serialized
+``RunResult`` payloads carry ``schema_version`` and readers reject
+foreign majors, and a profiled run is strictly serial and uncached.
 """
 
 from __future__ import annotations
@@ -105,43 +106,39 @@ class TestSchemaVersion:
         assert RunResult.from_dict(payload).correct
 
 
-class TestDeprecatedSpellings:
-    def test_fault_config_alias_warns(self):
-        with pytest.warns(DeprecationWarning, match="fault_config"):
-            runner = ExperimentRunner(
-                benchmarks=[], fault_config=FaultConfig(seed=1)
-            )
-        assert runner.fault_config == FaultConfig(seed=1)
-
-    def test_both_spellings_rejected(self):
-        with pytest.raises(TypeError, match="fault_config"):
-            ExperimentRunner(
-                benchmarks=[],
-                faults=FaultConfig(seed=1),
-                fault_config=FaultConfig(seed=2),
-            )
+class TestRemovedSpellings:
+    """The deprecated kwarg aliases are gone: nothing special-cases them
+    anymore, so they fail as plain unknown keywords (native TypeError)."""
 
     def test_unknown_kwarg_rejected(self):
         with pytest.raises(TypeError, match="bogus"):
             ExperimentRunner(benchmarks=[], bogus=1)
 
-    def test_run_aliases_warn_and_still_work(self):
+    def test_fault_config_alias_removed(self):
+        with pytest.raises(TypeError, match="fault_config"):
+            ExperimentRunner(benchmarks=[], fault_config=FaultConfig(seed=1))
+
+    def test_run_aliases_removed(self):
+        runner = ExperimentRunner(benchmarks=[])
+        with pytest.raises(TypeError, match="n_cores"):
+            runner.run("rawcaudio", strategy="baseline", n_cores=1)
+        with pytest.raises(TypeError, match="name"):
+            runner.run(name="rawcaudio", cores=1, strategy="baseline")
+
+    def test_figure_driver_alias_removed(self):
+        runner = ExperimentRunner(benchmarks=[])
+        with pytest.raises(TypeError, match="n_cores"):
+            runner.fig10_11_speedups(n_cores=2)
+        with pytest.raises(TypeError, match="n_cores"):
+            runner.fig14_mode_time(n_cores=4)
+
+    def test_canonical_spellings_work(self):
         runner = ExperimentRunner(
             benchmarks=["rawcaudio"], max_cycles=20_000_000
         )
-        with pytest.warns(DeprecationWarning, match="n_cores"):
-            result = runner.run("rawcaudio", strategy="baseline", n_cores=1)
+        result = runner.run(benchmark="rawcaudio", cores=1, strategy="baseline")
         assert result.correct
-        with pytest.warns(DeprecationWarning, match="'name'"):
-            again = runner.run(name="rawcaudio", cores=1, strategy="baseline")
-        assert again is result  # same memoized cell
-
-    def test_figure_driver_alias_warns(self):
-        runner = ExperimentRunner(benchmarks=[])
-        with pytest.warns(DeprecationWarning, match="n_cores"):
-            assert runner.fig10_11_speedups(n_cores=2) == {}
-        with pytest.warns(DeprecationWarning, match="n_cores"):
-            assert runner.fig14_mode_time(n_cores=4) == {}
+        assert runner.run("rawcaudio", 1, "baseline") is result
 
 
 class TestObsConstraints:

@@ -23,6 +23,7 @@ from repro.harness import (
     ExperimentRunner,
     FailureSummary,
     ResultCache,
+    render_cache_line,
     render_failure_line,
     render_fault_line,
 )
@@ -187,6 +188,23 @@ class TestFailureSummary:
         assert FailureSummary(retried=["x"]).any()
         assert FailureSummary(degraded=["x"]).any()
         assert FailureSummary(worker_crashes=1).any()
+        assert FailureSummary(cache_quarantined=1).any()
+
+    def test_quarantine_reaches_summary_and_report(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        warm = ExperimentRunner(benchmarks=["rawcaudio"], cache_dir=cache_dir)
+        warm.run("rawcaudio", 1, "baseline")
+        for entry in cache_dir.glob("*.json"):
+            entry.write_text("{torn")
+        runner = ExperimentRunner(benchmarks=["rawcaudio"], cache_dir=cache_dir)
+        runner.run("rawcaudio", 1, "baseline")
+        summary = runner.failure_summary()
+        assert summary.cache_quarantined == runner.cache.quarantined >= 1
+        line = render_failure_line(runner)
+        assert "quarantined cache" in line
+        assert f"quarantined={runner.cache.quarantined}" in render_cache_line(
+            runner
+        )
 
     def test_render_without_failures_attribute(self):
         class Legacy:
@@ -241,9 +259,37 @@ class TestFaultKnobs:
             == 0
         )
         output = out.getvalue()
-        assert "faults    : seed=5 rate=0.05" in output
+        assert "faults    : profile=timing seed=5 rate=0.05" in output
         assert "injection(s)" in output
         assert "correct   : outputs match the reference interpreter" in output
+        # Timing-only chaos has no recovery subsystem, hence no report.
+        assert "recovery  :" not in output
+
+    def test_cli_destructive_run_reports_recovery(self, tmp_path):
+        out = io.StringIO()
+        assert (
+            cli_main(
+                ["run", "--benchmark", "rawcaudio", "--cores", "2",
+                 "--strategy", "tlp", "--faults", "--fault-seed", "5",
+                 "--fault-profile", "destructive",
+                 "--cache-dir", str(tmp_path)],
+                out=out,
+            )
+            == 0
+        )
+        output = out.getvalue()
+        assert "faults    : profile=destructive" in output
+        assert "recovery  : crc_errors=" in output
+        assert "watchdog=" in output and "remaps=" in output
+        assert "correct   : outputs match the reference interpreter" in output
+
+    def test_fault_profile_flag_reaches_the_config(self, tmp_path):
+        args = self._parse(
+            ["run", "--benchmark", "rawcaudio", "--faults",
+             "--fault-profile", "both", "--cache-dir", str(tmp_path)]
+        )
+        runner = _make_runner(args, ["rawcaudio"])
+        assert runner.fault_config.profile == "both"
 
     def test_chaos_figure_end_to_end(self, tmp_path):
         """The full gauntlet: a parallel chaos figure run over a corrupted

@@ -7,6 +7,13 @@ leave *final memory bit-identical* to the fault-free golden run, and the
 commit count must still equal the chunk count (injected conflicts raise
 ``aborts``; every chunk still commits exactly once).
 
+The destructive profile raises the stakes: payloads are corrupted in
+flight, messages are dropped in the router, and cores black out
+mid-chunk with their registers poisoned.  The same bit-identity bar
+applies -- the recovery subsystem (CRC/retransmit, watchdog +
+checkpoint rollback, graceful degradation) must repair every injection,
+and its counters must account for every destructive channel fire.
+
 The plan seeds derive from the ``CHAOS_SEED`` environment variable (CI
 randomizes it and echoes the value, so any failure is replayable with
 ``CHAOS_SEED=<n> pytest tests/properties/test_prop_chaos.py``).
@@ -33,6 +40,21 @@ CELLS = [(1, "baseline")] + [
 CHAOS_CONFIGS = [
     FaultConfig(seed=CHAOS_SEED, rate=0.002, tm_rate=0.5),
     FaultConfig(seed=CHAOS_SEED + 1, rate=0.005, tm_rate=0.25),
+]
+
+#: Destructive plans: corrupted payloads, dropped messages, blackouts.
+#: The tiny retransmit budget on the second plan forces the reliable
+#: fallback path; blackouts only fire on multi-core speculative cells.
+DESTRUCTIVE_CONFIGS = [
+    FaultConfig(
+        seed=CHAOS_SEED + 2, profile="destructive",
+        corrupt_rate=0.05, drop_rate=0.05, blackout_rate=0.0005,
+    ),
+    FaultConfig(
+        seed=CHAOS_SEED + 3, profile="both", rate=0.002, tm_rate=0.25,
+        corrupt_rate=0.1, drop_rate=0.1, blackout_rate=0.001,
+        retransmit_budget=1, blackout_budget=1,
+    ),
 ]
 
 
@@ -63,6 +85,44 @@ def test_faults_never_change_architectural_state(name):
             assert stats.tx_aborts >= golden_stats.tx_aborts, (
                 f"{cell}: aborts cannot be fewer than the fault-free run"
             )
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_destructive_faults_are_fully_recovered(name):
+    bench = build(name)
+    compiler = VoltronCompiler(bench.program)
+    for n_cores, strategy in CELLS:
+        config = single_core() if n_cores == 1 else mesh(n_cores)
+        compiled = compiler.compile(strategy, config)
+        golden = VoltronMachine(compiled, config)
+        golden_stats = golden.run()
+        golden_memory = golden.final_memory()
+        for fault_config in DESTRUCTIVE_CONFIGS:
+            plan = FaultPlan(fault_config)
+            machine = VoltronMachine(compiled, config, faults=plan)
+            stats = machine.run()
+            cell = f"{name} [{n_cores}-core {strategy}] seed={fault_config.seed}"
+            assert machine.final_memory() == golden_memory, (
+                f"{cell}: recovery failed to restore bit-identical memory"
+            )
+            assert stats.tx_commits == golden_stats.tx_commits, (
+                f"{cell}: commit count changed under destructive faults"
+            )
+            # Every destructive channel fire is accounted for by exactly
+            # one detection: corrupt -> CRC error, drop -> timer expiry,
+            # blackout -> watchdog rollback.
+            summary = plan.summary()
+            counters = machine.recovery.counters
+            assert counters["crc_errors"] == summary["corrupt"], cell
+            assert counters["drops"] == summary["drop"], cell
+            assert counters["blackouts"] == summary["blackout"], cell
+            assert counters["retransmits"] == (
+                summary["corrupt"] + summary["drop"]
+            ), cell
+            assert counters["watchdog_detections"] == counters["blackouts"], (
+                cell
+            )
+            assert counters["chunk_rollbacks"] == counters["blackouts"], cell
 
 
 def test_injected_tm_conflicts_raise_aborts_not_commits():

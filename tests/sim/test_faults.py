@@ -30,6 +30,26 @@ class TestFaultConfig:
         with pytest.raises(Exception):
             config.seed = 4
 
+    def test_profile_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(profile="nuclear")
+        for profile in ("timing", "destructive", "both"):
+            assert FaultConfig(profile=profile).profile == profile
+
+    def test_destructive_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(corrupt_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultConfig(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(blackout_rate=2.0)
+        with pytest.raises(ValueError):
+            FaultConfig(max_blackout=0)
+        with pytest.raises(ValueError):
+            FaultConfig(retransmit_budget=0)
+        with pytest.raises(ValueError):
+            FaultConfig(heartbeat_misses=0)
+
 
 class TestFaultPlan:
     def test_same_seed_same_schedule(self):
@@ -91,6 +111,83 @@ class TestFaultPlan:
         assert summary["injections"] == plan.injections()
         assert summary["injected_cycles"] == plan.injected_cycles()
         assert summary["injected_cycles"] >= summary["injections"]
+
+
+class TestProfiles:
+    def test_timing_profile_disarms_destructive_channels(self):
+        plan = FaultPlan(
+            FaultConfig(
+                seed=1, profile="timing", corrupt_rate=1.0, drop_rate=1.0,
+                blackout_rate=1.0,
+            )
+        )
+        assert plan.timing and not plan.destructive
+        assert all(plan.xmit_outcome() is None for _ in range(500))
+        assert all(plan.blackout_cycles() == 0 for _ in range(500))
+
+    def test_destructive_profile_disarms_timing_channels(self):
+        plan = FaultPlan(
+            FaultConfig(
+                seed=1, profile="destructive", rate=1.0, tm_rate=1.0,
+                corrupt_rate=1.0,
+            )
+        )
+        assert plan.destructive and not plan.timing
+        assert all(plan.mem_delay() == 0 for _ in range(500))
+        assert not any(plan.spurious_conflict() for _ in range(500))
+        assert plan.xmit_outcome() is not None
+
+    def test_both_profile_arms_everything(self):
+        plan = FaultPlan(
+            FaultConfig(
+                seed=1, profile="both", rate=1.0, corrupt_rate=1.0,
+                blackout_rate=1.0,
+            )
+        )
+        assert plan.timing and plan.destructive
+        assert plan.mem_delay() >= 1
+        assert plan.xmit_outcome() is not None
+        assert plan.blackout_cycles() >= 1
+
+    def test_destructive_with_zero_rates_is_not_destructive(self):
+        plan = FaultPlan(
+            FaultConfig(
+                seed=1, profile="destructive", corrupt_rate=0.0,
+                drop_rate=0.0, blackout_rate=0.0,
+            )
+        )
+        assert not plan.destructive
+
+    def test_drop_takes_priority_over_corrupt(self):
+        # Both channels firing on the same attempt must resolve to one
+        # outcome; drop is sampled first.
+        plan = FaultPlan(
+            FaultConfig(
+                seed=1, profile="destructive", corrupt_rate=1.0,
+                drop_rate=1.0,
+            )
+        )
+        assert all(plan.xmit_outcome() == "drop" for _ in range(200))
+
+    def test_summary_includes_destructive_channels(self):
+        plan = FaultPlan(
+            FaultConfig(seed=2, profile="destructive", corrupt_rate=0.5,
+                        drop_rate=0.5, blackout_rate=0.5)
+        )
+        for _ in range(200):
+            plan.xmit_outcome()
+            plan.blackout_cycles()
+        summary = plan.summary()
+        assert summary["corrupt"] > 0 or summary["drop"] > 0
+        assert summary["blackout"] > 0
+        assert summary["injections"] == plan.injections()
+
+    def test_blackout_duration_respects_bound(self):
+        plan = FaultPlan(
+            FaultConfig(seed=3, profile="destructive", blackout_rate=1.0,
+                        max_blackout=17)
+        )
+        assert all(1 <= plan.blackout_cycles() <= 17 for _ in range(300))
 
 
 class TestMachineIntegration:

@@ -5,6 +5,8 @@ tests pin down the machine's execution contract independently of the
 compiler.
 """
 
+import re
+
 import pytest
 
 from repro.arch import four_core, single_core, two_core
@@ -380,6 +382,33 @@ class TestTermination:
         # empty queues -- readable straight from the exception.
         assert message.count("queue=0 pending msg(s)") == 2
         assert "wait" in message
+
+    def test_diagnostics_carry_pc_per_live_core(self):
+        # Every live core's program counter appears in function:label:slot
+        # form, so a hung chaos run is debuggable from the message alone.
+        machine = VoltronMachine(
+            self._cross_recv(), two_core(), max_cycles=300, fast_forward=False
+        )
+        with pytest.raises(OutOfCycles) as excinfo:
+            machine.run()
+        message = str(excinfo.value)
+        assert len(re.findall(r"pc=\w+:wait:\d+", message)) == 2
+        assert message.count("queue=") == 2
+
+    def test_diagnostics_render_blocked_stall_cause(self):
+        # A core held by the pipeline (next_free in the future) reports
+        # the stall cause and the release cycle.
+        machine = VoltronMachine(self._nop_spin(), single_core(), max_cycles=20)
+        with pytest.raises(OutOfCycles):
+            machine.run()
+        core = machine.cores[0]
+        core.block_until(core.next_free + 50, "dstall")
+        text = machine._core_diagnostics()
+        assert re.search(r"blocked\[dstall\] until cycle \d+", text)
+        assert "queue=0 pending msg(s)" in text
+        # A free core says so instead of inventing a cause.
+        core.next_free = 0
+        assert "free" in machine._core_diagnostics()
 
 
 class TestProgramArgs:
