@@ -122,6 +122,13 @@ def main(argv=None) -> int:
         action="store_true",
         help="rewrite benchmarks/perf_baseline.json with fresh measurements",
     )
+    parser.add_argument(
+        "--trajectory-out",
+        metavar="FILE",
+        help="also write the measurements (plus verdict and git revision) "
+        "as JSON -- CI uploads these per-run snapshots as the "
+        "perf-trajectory artifact",
+    )
     args = parser.parse_args(argv)
 
     check_recovery_hooks_dormant()
@@ -171,6 +178,31 @@ def main(argv=None) -> int:
         print(f"FAIL: {failure}")
     if not failures:
         print("perf smoke OK")
+
+    if args.trajectory_out:
+        try:
+            revision = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                cwd=REPO,
+                check=True,
+            ).stdout.strip()
+        except (OSError, subprocess.CalledProcessError):
+            revision = None
+        Path(args.trajectory_out).write_text(json.dumps({
+            "schema": 1,
+            "revision": revision,
+            "quickstart_s": round(quickstart, 3),
+            "driver_sequence_s": round(driver, 3),
+            "machine_scale": round(machine_scale, 3),
+            "driver_speedup": round(speedup, 3),
+            "quickstart_tolerance": QUICKSTART_TOLERANCE,
+            "driver_min_speedup": DRIVER_MIN_SPEEDUP,
+            "ok": not failures,
+            "failures": failures,
+        }, indent=2) + "\n")
+        print(f"trajectory      : {args.trajectory_out}")
     return 1 if failures else 0
 
 

@@ -18,6 +18,9 @@ Internal layers (importable, but their signatures are not the contract):
 * :mod:`repro.sim` -- the cycle-level Voltron simulator.
 * :mod:`repro.obs` -- observability: event probes, metrics series, and
   Perfetto trace export.
+* :mod:`repro.analysis` -- voltlint: the static communication verifier,
+  the dynamic race sanitizer, and the mutation harness that keeps both
+  honest.
 * :mod:`repro.compiler` -- BUG/eBUG/DSWP/DOALL partitioners, the joint VLIW
   scheduler, communication insertion, and the parallelism selection driver.
 * :mod:`repro.workloads` -- the 25-benchmark synthetic suite standing in for
@@ -38,6 +41,7 @@ _API_EXPORTS = (
     "run_cell",
     "run_figure",
     "session",
+    "verify_benchmark",
 )
 
 __all__ = list(_API_EXPORTS) + ["__version__"]

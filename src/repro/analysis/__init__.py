@@ -1,0 +1,32 @@
+"""voltlint: static communication verification + dynamic race sanitizing.
+
+The compiler's output is only correct if its orchestrated communication
+is: matched queue pairs, cycle-aligned wires, sync-covered memory
+dependences, mode barriers, and TM-bracketed DOALL chunks.  This package
+proves those properties -- statically over a :class:`CompiledProgram`
+(:func:`verify_compiled`), dynamically over a real execution
+(:class:`RaceSanitizer`), and adversarially against itself
+(:mod:`repro.analysis.mutate`).
+
+Entry points:
+
+* ``repro.api.verify_benchmark(...)`` -- one benchmark cell.
+* ``python -m repro.harness.cli verify`` -- the whole grid, CI-style.
+"""
+
+from .findings import Finding, VerificationReport, merge_reports
+from .mutate import MUTATIONS, MutationRecord, apply_mutation
+from .sanitizer import RaceSanitizer
+from .verifier import ProgramVerifier, verify_compiled
+
+__all__ = [
+    "Finding",
+    "MUTATIONS",
+    "MutationRecord",
+    "ProgramVerifier",
+    "RaceSanitizer",
+    "VerificationReport",
+    "apply_mutation",
+    "merge_reports",
+    "verify_compiled",
+]

@@ -65,6 +65,69 @@ def compile_benchmark(
     return VoltronCompiler(bench.program).compile(strategy, config)
 
 
+def verify_benchmark(
+    benchmark: str,
+    cores: int = 4,
+    strategy: str = "hybrid",
+    *,
+    seed: int = 1,
+    dynamic: bool = False,
+    suppressions: Sequence[str] = (),
+    max_cycles: int = 50_000_000,
+):
+    """Statically verify one compiled cell's communication structure.
+
+    Runs the voltlint checks (:mod:`repro.analysis`): queue-channel
+    balance (orphan SEND = leak, orphan RECV = deadlock), lock-step
+    PUT/GET alignment, sync coverage of cross-core memory dependences,
+    MODE_SWITCH bracketing, and DOALL speculation brackets.  Returns the
+    :class:`~repro.analysis.VerificationReport`; ``report.ok`` is the
+    pass/fail verdict and ``report.render()`` the human summary.
+
+    With ``dynamic=True`` the cell is additionally *executed* under the
+    race sanitizer (shadow-memory happens-before over cross-core
+    accesses); any dynamic race and any message left in a queue at halt
+    are appended to the same report.
+
+    ``suppressions`` entries name findings to tolerate, as ``kind``,
+    ``kind:function``, or ``kind:function:block``.
+    """
+    from .analysis import RaceSanitizer, verify_compiled
+    from .analysis.findings import Finding, match_suppression
+
+    bench = build(benchmark, seed)
+    config = single_core() if cores == 1 else mesh(cores)
+    compiled = VoltronCompiler(bench.program).compile(strategy, config)
+    report = verify_compiled(compiled, config, suppressions)
+    report.benchmark = benchmark
+    report.strategy = strategy
+    if dynamic:
+        from .sim.machine import VoltronMachine
+
+        sanitizer = RaceSanitizer()
+        machine = VoltronMachine(
+            compiled, config, max_cycles=max_cycles, sanitizer=sanitizer
+        )
+        machine.run()
+        report.count("dynamic_accesses", sanitizer.checked_accesses)
+        for finding in sanitizer.findings:
+            finding.suppressed = match_suppression(finding, suppressions)
+            report.add(finding)
+        if not machine.network.quiescent():
+            leak = Finding(
+                kind="message-leak",
+                function="<machine>",
+                block="<halt>",
+                region=0,
+                core=None,
+                message="messages still queued or in flight after halt "
+                "(orphaned SEND reached the network)",
+            )
+            leak.suppressed = match_suppression(leak, suppressions)
+            report.add(leak)
+    return report
+
+
 def session(
     benchmarks: Optional[Sequence[str]] = None,
     *,
@@ -176,4 +239,5 @@ __all__ = [
     "run_cell",
     "run_figure",
     "session",
+    "verify_benchmark",
 ]

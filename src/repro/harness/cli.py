@@ -5,6 +5,7 @@
         --strategy hybrid
     python -m repro.harness.cli figure --figure 10 --jobs 4
     python -m repro.harness.cli figure --figure 13 --benchmarks gsmdecode epic
+    python -m repro.harness.cli verify --report findings.json
 
 Simulation results are cached on disk (``.repro-cache/`` by default, keyed
 by a content hash of program + config + seed) so a repeated figure run is
@@ -28,6 +29,14 @@ observability layer (:mod:`repro.obs`) and writes a Perfetto-loadable
 trace; ``--metrics-out metrics.json`` writes the sampled time series and
 the reconciled per-mode timeline.  Profiled runs always simulate fresh
 (the cache cannot carry a cycle-accurate event record).
+
+``verify`` runs the voltlint static checks (:mod:`repro.analysis`) over
+every compiled cell in the grid -- channel balance, DVLIW alignment,
+memory-sync coverage, mode barriers, TM brackets -- and exits 1 on any
+unsuppressed finding; ``--dynamic`` additionally executes each cell
+under the happens-before race sanitizer, ``--report FILE`` writes the
+merged findings document CI uploads, and ``--suppress
+kind[:function[:block]]`` tolerates known findings.
 """
 
 from __future__ import annotations
@@ -177,6 +186,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to a subset (default: all 25)",
     )
     _add_runner_options(figure)
+
+    verify = sub.add_parser(
+        "verify",
+        help="statically verify compiled communication (voltlint)",
+        description="Run the voltlint static verifier over every "
+        "(benchmark, cores, strategy) cell: queue-channel balance, "
+        "lock-step PUT/GET alignment, sync coverage of cross-core memory "
+        "dependences, MODE_SWITCH bracketing, and DOALL speculation "
+        "brackets.  Exit status 1 when any unsuppressed finding remains.",
+    )
+    verify.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        help="restrict to a subset (default: all 25)",
+    )
+    verify.add_argument(
+        "--cores",
+        nargs="*",
+        type=int,
+        default=None,
+        choices=(1, 2, 4),
+        help="restrict to these core counts (default: 1 2 4)",
+    )
+    verify.add_argument(
+        "--strategies",
+        nargs="*",
+        default=None,
+        choices=("baseline", "ilp", "tlp", "llp", "hybrid"),
+        help="restrict to these strategies (default: the paper grid -- "
+        "baseline on 1 core, ilp/tlp/llp on 2 and 4)",
+    )
+    verify.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="additionally execute each cell under the race sanitizer "
+        "(shadow-memory happens-before over cross-core accesses)",
+    )
+    verify.add_argument(
+        "--suppress",
+        nargs="*",
+        default=(),
+        metavar="PATTERN",
+        help="tolerate findings matching kind, kind:function, or "
+        "kind:function:block",
+    )
+    verify.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the merged findings report as JSON (the CI artifact)",
+    )
+    verify.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print every cell's report, not just failures",
+    )
     return parser
 
 
@@ -313,6 +379,84 @@ def _cmd_figure(args, out) -> int:
     return 0
 
 
+def _verify_grid(args) -> List[tuple]:
+    """(cores, strategy) cells to verify: the paper grid by default."""
+    if args.cores is None and args.strategies is None:
+        return [(1, "baseline")] + [
+            (n, s) for n in (2, 4) for s in ("ilp", "tlp", "llp")
+        ]
+    cores_list = args.cores or [1, 2, 4]
+    strategies = args.strategies or ["baseline", "ilp", "tlp", "llp"]
+    grid = []
+    for n in cores_list:
+        for strategy in strategies:
+            # baseline is the 1-core cell; parallel strategies need >1.
+            if (strategy == "baseline") != (n == 1):
+                continue
+            grid.append((n, strategy))
+    return grid
+
+
+def _cmd_verify(args, out) -> int:
+    from ..analysis import merge_reports, verify_compiled
+    from ..arch.config import mesh, single_core
+    from ..compiler.driver import VoltronCompiler
+    from ..workloads.suite import build
+
+    names = list(args.benchmarks or BENCHMARKS)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        print(f"unknown benchmarks: {', '.join(unknown)}", file=out)
+        return 2
+    grid = _verify_grid(args)
+    reports = []
+    failed = 0
+    for name in names:
+        bench = build(name)
+        # One compiler per benchmark: the profile is computed once and
+        # shared by every cell.
+        compiler = VoltronCompiler(bench.program)
+        for cores, strategy in grid:
+            config = single_core() if cores == 1 else mesh(cores)
+            compiled = compiler.compile(strategy, config)
+            report = verify_compiled(compiled, config, args.suppress)
+            report.benchmark = name
+            report.strategy = strategy
+            if args.dynamic:
+                from ..analysis import RaceSanitizer
+                from ..analysis.findings import match_suppression
+                from ..sim.machine import VoltronMachine
+
+                sanitizer = RaceSanitizer()
+                machine = VoltronMachine(compiled, config, sanitizer=sanitizer)
+                machine.run()
+                report.count("dynamic_accesses", sanitizer.checked_accesses)
+                for finding in sanitizer.findings:
+                    finding.suppressed = match_suppression(
+                        finding, args.suppress
+                    )
+                    report.add(finding)
+            reports.append(report)
+            if not report.ok:
+                failed += 1
+                print(report.render(), file=out)
+            elif args.verbose:
+                print(report.render(), file=out)
+    document = merge_reports(reports)
+    checks = "static" + (" + dynamic" if args.dynamic else "")
+    print(
+        f"verify    : {document['total_cells']} cells ({checks}), "
+        f"{failed} with findings "
+        f"({document['total_findings']} unsuppressed finding(s))",
+        file=out,
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"report    : {args.report}", file=out)
+    return 0 if document["ok"] else 1
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -322,6 +466,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_run(args, out)
     if args.command == "figure":
         return _cmd_figure(args, out)
+    if args.command == "verify":
+        return _cmd_verify(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

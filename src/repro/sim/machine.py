@@ -110,6 +110,7 @@ class VoltronMachine:
         fast_forward: bool = True,
         faults: Optional[FaultPlan] = None,
         obs=None,
+        sanitizer=None,
     ) -> None:
         if compiled.n_cores != config.n_cores:
             raise ValueError(
@@ -211,6 +212,14 @@ class VoltronMachine:
         if obs is not None:
             obs.attach(self)
 
+        # Dynamic race sanitizer (repro.analysis): read-only happens-before
+        # probes on the memory/comm/TM handlers, same is-None cost model
+        # as obs.  Attached after obs so its probes see the fully wired
+        # machine (it reads tm/network state but never mutates it).
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            sanitizer.attach(self)
+
     # -- pre-decode ----------------------------------------------------------------
 
     def _predecode(self) -> None:
@@ -269,6 +278,7 @@ class VoltronMachine:
         stalled_prev = True
         busy_total = sum(s.busy for s in core_stats)
         obs = self.obs
+        sanitizer = self.sanitizer
         try:
             while not self._all_halted():
                 if self.cycle >= self.max_cycles:
@@ -334,6 +344,8 @@ class VoltronMachine:
                             obs.mode_switch(
                                 self.cycle + 1, self.mode, self._mode_next
                             )
+                        if sanitizer is not None:
+                            sanitizer.on_mode_flip(self.mode, self._mode_next)
                     self.mode = self._mode_next
                     self._mode_next = None
                 if obs is not None:
@@ -851,6 +863,8 @@ class VoltronMachine:
             return
         core.stats.busy += 1
         core.status = RUNNING
+        if self.sanitizer is not None:
+            self.sanitizer.on_control_recv(core, message.src)
         if message.kind == "spawn":
             core.jump(message.value)
         else:  # release: move past the LISTEN op
@@ -916,6 +930,8 @@ class VoltronMachine:
         value = self.tm.load(core.id, addr)
         core.write_reg(op.dest, value, self.cycle + 1 + cycles)
         core.stats.loads += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_load(core, op, addr)
         if miss or cycles > self.config.l1d.hit_latency:
             core.stats.l1d_misses += miss
             core.block_until(self.cycle + 1 + cycles, "dstall")
@@ -927,6 +943,8 @@ class VoltronMachine:
         cycles, miss = self.bus.access(core.id, addr, is_store=True)
         self.tm.store(core.id, addr, read(op.srcs[2]))
         core.stats.stores += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_store(core, op, addr)
         if miss or cycles > self.config.l1d.hit_latency:
             core.stats.l1d_misses += miss
             core.block_until(self.cycle + 1 + cycles, "dstall")
@@ -1021,6 +1039,10 @@ class VoltronMachine:
             tag=op.attrs.get("tag"),
         )
         core.stats.messages_sent += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_send(
+                core, op.attrs["target_core"], op.attrs.get("tag")
+            )
         return "ok"
 
     def _do_recv(self, core: Core, op: Operation) -> str:
@@ -1036,6 +1058,10 @@ class VoltronMachine:
         if op.dests:
             core.write_reg(op.dest, message.value, self.cycle + 1)
         core.stats.messages_received += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_recv(
+                core, op.attrs["source_core"], op.attrs.get("tag")
+            )
         return "ok"
 
     def _do_spawn(self, core: Core, op: Operation) -> str:
@@ -1047,12 +1073,16 @@ class VoltronMachine:
             kind="spawn",
         )
         self.stats.spawns += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_control_send(core, op.attrs["target_core"])
         return "ok"
 
     def _do_release(self, core: Core, op: Operation) -> str:
         self.network.send(
             core.id, op.attrs["target_core"], None, self.cycle, kind="release"
         )
+        if self.sanitizer is not None:
+            self.sanitizer.on_control_send(core, op.attrs["target_core"])
         return "ok"
 
     def _do_sleep(self, core: Core, op: Operation) -> str:
@@ -1085,9 +1115,13 @@ class VoltronMachine:
                 self.cycle + 1 + self.config.tm_commit_latency, "tx_wait"
             )
             core.tx_checkpoint = None
+            if self.sanitizer is not None:
+                self.sanitizer.on_tx_commit(core)
             return "ok"
         restart = core.rollback_registers()
         core.jump(restart)
+        if self.sanitizer is not None:
+            self.sanitizer.on_tx_abort(core)
         return "redirect"
 
     def _do_mode_switch(self, core: Core, op: Operation) -> str:

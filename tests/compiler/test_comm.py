@@ -109,3 +109,85 @@ class TestTaggedChannels:
 
     def test_untagged_by_default(self):
         assert "tag" not in send_value(0, 1, R(2)).attrs
+
+
+class TestZeroHopEdges:
+    """A DFG edge whose endpoints land on the same core needs no
+    communication at all -- the helpers must emit nothing rather than a
+    self-addressed message (the network rejects core->self sends)."""
+
+    def test_decoupled_transfer_to_self_is_empty(self):
+        assert decoupled_transfer(2, [2], R(1)) == []
+
+    def test_self_among_destinations_is_skipped(self):
+        ops = decoupled_transfer(1, [0, 1, 3], R(6))
+        sends = [op for op in ops if op.opcode is Opcode.SEND]
+        recvs = [op for op in ops if op.opcode is Opcode.RECV]
+        assert {op.attrs["target_core"] for op in sends} == {0, 3}
+        assert all(op.core != 1 for op in recvs)
+
+    def test_broadcast_to_only_self_is_bare(self):
+        # A BCAST with no remote reader is a single (dead) driver op:
+        # no GETs, so nothing ever samples the wire.
+        ops = broadcast_group(0, [0], P(2))
+        assert [op.opcode for op in ops] == [Opcode.BCAST]
+
+    def test_coupled_transfer_duplicate_destinations(self):
+        mesh = Mesh(1, 2, 2)
+        ops = coupled_transfer(mesh, 0, [1, 1], R(3))
+        assert [op.opcode for op in ops] == [Opcode.PUT, Opcode.GET]
+
+
+class TestBroadcastFanOut:
+    def test_full_fan_out_one_get_per_reader(self):
+        ops = broadcast_group(1, [0, 1, 2, 3], P(0))
+        bcast, *gets = ops
+        assert bcast.opcode is Opcode.BCAST and bcast.core == 1
+        assert [op.core for op in gets] == [0, 2, 3]  # sorted, no self
+        align = bcast.attrs["align"]
+        assert all(op.attrs["align"] == align for op in gets)
+        assert all(op.attrs["direction"] == "bcast" for op in gets)
+        assert all(op.attrs["bcast_src"] == 1 for op in gets)
+        assert all(op.dest == P(0) for op in gets)
+
+    def test_duplicate_readers_collapse(self):
+        ops = broadcast_group(0, [1, 1, 2, 2], P(3))
+        gets = [op for op in ops if op.opcode is Opcode.GET]
+        assert [op.core for op in gets] == [1, 2]
+
+    def test_distinct_groups_get_distinct_align_ids(self):
+        a = broadcast_group(0, [1], P(0))[0].attrs["align"]
+        b = broadcast_group(0, [1], P(0))[0].attrs["align"]
+        assert a != b
+
+
+class TestSyncPairInsertionOrder:
+    """memory_sync_pair returns (send, recv) in dependence order; when a
+    block carries several pairs on one channel the FIFO discipline makes
+    k-th SEND meet k-th RECV, so insertion order is correctness."""
+
+    def test_pair_order_is_send_then_recv(self):
+        regs = RegisterAllocator()
+        pair = memory_sync_pair(0, 1, regs)
+        assert [op.opcode for op in pair] == [Opcode.SEND, Opcode.RECV]
+        send, recv = pair
+        assert send.attrs["target_core"] == recv.core
+        assert recv.attrs["source_core"] == send.core
+
+    def test_pairs_share_one_untagged_channel(self):
+        regs = RegisterAllocator()
+        send1, recv1 = memory_sync_pair(0, 1, regs)
+        send2, recv2 = memory_sync_pair(0, 1, regs)
+        for op in (send1, recv1, send2, recv2):
+            assert "tag" not in op.attrs
+        # Same (src, dst, tag) channel: FIFO order must pair 1 with 1.
+        assert send1.attrs["target_core"] == send2.attrs["target_core"]
+        assert recv1.attrs["source_core"] == recv2.attrs["source_core"]
+
+    def test_pair_token_is_dummy(self):
+        regs = RegisterAllocator()
+        send, recv = memory_sync_pair(2, 0, regs)
+        # The payload is meaningless: an immediate zero into a scratch
+        # register nothing reads.
+        assert send.srcs and send.srcs[0].value == 0
+        assert send.attrs["transfer"] and recv.attrs["transfer"]

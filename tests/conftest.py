@@ -95,3 +95,95 @@ def pytest_addoption(parser):
 @pytest.fixture
 def update_golden(request) -> bool:
     return request.config.getoption("--update-golden")
+
+
+# ---- voltlint fixtures (tests/analysis) ------------------------------------
+#
+# The compiler deliberately never splits compiler-visible memory
+# dependences across cores (eBUG's memory_dep_weight keeps conflicting
+# accesses co-located), so no benchmark cell exercises the memory-sync
+# pair machinery end to end.  inject_sync_fixture manufactures that
+# situation by hand: it appends a cross-core STORE/LOAD conflict to a
+# decoupled block of a real compiled cell, with or without the
+# memory_sync_pair ordering it.  Editing compiled streams pre-run is
+# safe -- CoreBlock.decoded is only materialized by the simulator.
+
+#: Word address used by the injected conflict; far above the suite's
+#: static arrays so the extra store cannot perturb program results.
+FIXTURE_ADDR = 1 << 20
+
+
+def _shared_decoupled_block(compiled) -> Tuple[str, str]:
+    """(function, label) of a decoupled, non-speculative block that both
+    core 0 and core 1 execute -- the injection site."""
+    from repro.isa.operations import Opcode
+
+    for name, f0 in compiled.streams[0].items():
+        f1 = compiled.streams[1].get(name)
+        if f1 is None:
+            continue
+        for label in f0.block_order:
+            b0 = f0.blocks[label]
+            b1 = f1.blocks.get(label)
+            if b1 is None or b0.mode != "decoupled":
+                continue
+            if b0.taken == label or b0.fall == label:
+                continue  # self-loops would add a loop-carried WAR
+            if any(
+                op is not None
+                and op.opcode in (Opcode.TX_BEGIN, Opcode.TX_COMMIT)
+                for op in b0.slots + b1.slots
+            ):
+                continue
+            return name, label
+    raise AssertionError("no decoupled block shared by cores 0 and 1")
+
+
+def inject_sync_fixture(compiled, with_sync: bool = True) -> Tuple[str, str]:
+    """Append a core-0 STORE / core-1 LOAD of the same address to a
+    decoupled block; with ``with_sync`` the pair is ordered by a
+    ``memory_sync_pair``, without it the accesses race.  Returns the
+    (function, label) injection site."""
+    from repro.compiler.comm import memory_sync_pair
+    from repro.isa.operations import Imm, Opcode, make_op
+
+    name, label = _shared_decoupled_block(compiled)
+    b0 = compiled.streams[0][name].blocks[label]
+    b1 = compiled.streams[1][name].blocks[label]
+    regs = compiled.program.functions[name].regs
+    store = make_op(Opcode.STORE, [], [Imm(FIXTURE_ADDR), Imm(0), Imm(7)])
+    store.core = 0
+    load = make_op(Opcode.LOAD, [regs.gpr()], [Imm(FIXTURE_ADDR), Imm(0)])
+    load.core = 1
+    b0.slots.insert(0, store)
+    if with_sync:
+        send, recv = memory_sync_pair(0, 1, regs)
+        # A distinct tag keeps the token off the compiler's untagged
+        # transfer channel (the runtime RECV CAM matches on tag).
+        send.attrs["tag"] = "fixture_sync"
+        recv.attrs["tag"] = "fixture_sync"
+        b0.slots.insert(1, send)
+        b1.slots.insert(0, recv)
+        b1.slots.insert(1, load)
+    else:
+        b1.slots.insert(0, load)
+    return name, label
+
+
+@pytest.fixture
+def tlp_cell():
+    """A fresh 4-core TLP compile of rawcaudio (cheap, queue-heavy)."""
+    from repro.api import compile_benchmark
+
+    return compile_benchmark("rawcaudio", 4, "tlp")
+
+
+@pytest.fixture
+def inject_sync():
+    """The injection helper, as a fixture (tests are not a package)."""
+    return inject_sync_fixture
+
+
+@pytest.fixture
+def fixture_addr():
+    return FIXTURE_ADDR
