@@ -37,10 +37,12 @@ _API_EXPORTS = (
     "FIGURES",
     "RunResult",
     "compile_benchmark",
+    "generate_workload",
     "list_benchmarks",
     "run_cell",
     "run_figure",
     "session",
+    "sweep",
     "verify_benchmark",
 )
 

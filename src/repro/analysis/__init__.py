@@ -16,6 +16,7 @@ Entry points:
 
 from .findings import Finding, VerificationReport, merge_reports
 from .mutate import MUTATIONS, MutationRecord, apply_mutation
+from .oracle import OracleVerdict, check_benchmark, check_program
 from .sanitizer import RaceSanitizer
 from .verifier import ProgramVerifier, verify_compiled
 
@@ -23,10 +24,13 @@ __all__ = [
     "Finding",
     "MUTATIONS",
     "MutationRecord",
+    "OracleVerdict",
     "ProgramVerifier",
     "RaceSanitizer",
     "VerificationReport",
     "apply_mutation",
+    "check_benchmark",
+    "check_program",
     "merge_reports",
     "verify_compiled",
 ]

@@ -36,15 +36,44 @@ from .arch.config import mesh, single_core
 from .compiler.driver import VoltronCompiler
 from .harness.experiments import ExperimentRunner, RunResult
 from .sim.faults import FaultConfig
+from .workloads.generator import GenKnobs, generate_handles, make_handle
 from .workloads.suite import BENCHMARKS, build
 
 #: Figure identifiers accepted by :func:`run_figure`.
 FIGURES = ("3", "7-9", "10", "11", "12", "13", "14")
 
 
-def list_benchmarks() -> List[str]:
-    """Names of the benchmark suite, in canonical order."""
-    return list(BENCHMARKS)
+def list_benchmarks(
+    *,
+    generated: int = 0,
+    gen_seed: int = 1,
+    knobs: Optional[GenKnobs] = None,
+) -> List[str]:
+    """Names of the benchmark suite, in canonical order.
+
+    With ``generated=N`` the list additionally surfaces N generated
+    workload handles (``gen:<seed>:<knobs-hash>`` for consecutive seeds
+    starting at ``gen_seed``), interchangeable with named benchmarks in
+    every ``benchmark=`` slot of this API, the CLI, and the result
+    cache.  ``knobs`` selects a custom generator configuration
+    (registered as a side effect so the returned handles resolve).
+    """
+    names = list(BENCHMARKS)
+    if generated:
+        names.extend(generate_handles(generated, gen_seed, knobs))
+    return names
+
+
+def generate_workload(seed: int = 1, knobs: Optional[GenKnobs] = None) -> str:
+    """Mint (and register) the handle of one generated workload.
+
+    The returned ``gen:<seed>:<knobs-hash>`` string is a first-class
+    benchmark name: pass it to :func:`run_cell`, :func:`verify_benchmark`,
+    :func:`compile_benchmark`, :func:`sweep`, or the CLI.  The handle
+    alone pins the program bit-for-bit (generation never consults global
+    randomness), so its cache keys are stable across sessions.
+    """
+    return make_handle(seed, knobs)
 
 
 def compile_benchmark(
@@ -137,11 +166,16 @@ def session(
     jobs: int = 1,
     cell_timeout: Optional[float] = None,
     faults: Optional[FaultConfig] = None,
+    config_overrides: Optional[Dict[str, object]] = None,
 ) -> ExperimentRunner:
     """A reusable experiment session (shared builds, cache, worker pool).
 
     Use this instead of constructing :class:`ExperimentRunner` directly;
-    the keyword names here are the stable ones.
+    the keyword names here are the stable ones.  ``config_overrides``
+    applies flat machine-config tweaks (``queue_depth``,
+    ``queue_cycles_per_hop``, ``memory_latency``, ``tm_commit_latency``,
+    ...) on top of the standard mesh presets -- the knob the design-space
+    sweep turns.
     """
     return ExperimentRunner(
         benchmarks=benchmarks,
@@ -151,6 +185,7 @@ def session(
         jobs=jobs,
         cell_timeout=cell_timeout,
         faults=faults,
+        config_overrides=config_overrides,
     )
 
 
@@ -231,13 +266,66 @@ def run_figure(
     return runner.fig14_mode_time(cores if cores is not None else 4)
 
 
+def sweep(
+    workloads: Sequence[str],
+    *,
+    strategies: Sequence[str] = ("ilp", "tlp", "llp", "hybrid"),
+    cores: Sequence[int] = (2, 4),
+    queue_depths: Sequence[int] = (16,),
+    queue_cycles_per_hop: Sequence[int] = (1,),
+    memory_latencies: Sequence[int] = (100,),
+    tm_commit_latencies: Sequence[int] = (4,),
+    seed: int = 1,
+    max_cycles: int = 50_000_000,
+    cache_dir: Optional[Union[str, Path]] = None,
+    jobs: int = 1,
+    cell_timeout: Optional[float] = None,
+    out: Optional[Union[str, Path]] = None,
+) -> Dict:
+    """Sweep machine configurations across workloads; Pareto per strategy.
+
+    ``workloads`` mixes named benchmarks and generated handles freely.
+    The machine axes (mesh size via ``cores``, operand-queue depth,
+    queue-mode hop latency, memory latency, TM commit budget) are
+    crossed into a full grid; every (workload, machine, strategy) cell
+    runs through the cached parallel runner, so repeated sweeps only
+    simulate new points.  Returns the sweep document (see
+    :mod:`repro.harness.sweep` for the schema) and, with ``out=``,
+    writes it as a JSON artifact.
+    """
+    from .harness.sweep import SweepSpec, run_sweep, write_sweep
+
+    spec = SweepSpec(
+        workloads=tuple(workloads),
+        strategies=tuple(strategies),
+        cores=tuple(cores),
+        queue_depths=tuple(queue_depths),
+        queue_cycles_per_hop=tuple(queue_cycles_per_hop),
+        memory_latencies=tuple(memory_latencies),
+        tm_commit_latencies=tuple(tm_commit_latencies),
+    )
+    document = run_sweep(
+        spec,
+        seed=seed,
+        max_cycles=max_cycles,
+        cache_dir=cache_dir,
+        jobs=jobs,
+        cell_timeout=cell_timeout,
+    )
+    if out is not None:
+        write_sweep(document, out)
+    return document
+
+
 __all__ = [
     "FIGURES",
     "RunResult",
     "compile_benchmark",
+    "generate_workload",
     "list_benchmarks",
     "run_cell",
     "run_figure",
     "session",
+    "sweep",
     "verify_benchmark",
 ]

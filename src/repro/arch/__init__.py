@@ -8,6 +8,7 @@ from .config import (
     CacheConfig,
     MachineConfig,
     NetworkConfig,
+    apply_overrides,
     four_core,
     mesh,
     single_core,
@@ -18,6 +19,7 @@ __all__ = [
     "CacheConfig",
     "MachineConfig",
     "NetworkConfig",
+    "apply_overrides",
     "four_core",
     "mesh",
     "single_core",

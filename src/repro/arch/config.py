@@ -8,8 +8,8 @@ direct-mode network latency of 1 cycle/hop, queue-mode latency of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -92,6 +92,52 @@ def two_core() -> MachineConfig:
 
 def four_core() -> MachineConfig:
     return MachineConfig(n_cores=4, mesh_shape=(2, 2))
+
+
+#: Flat override keys accepted by :func:`apply_overrides`, split by the
+#: dataclass they land on.  Network knobs are addressable without the
+#: ``network.`` prefix so sweep specs stay one flat mapping.
+_NETWORK_FIELDS = frozenset(f.name for f in fields(NetworkConfig))
+_MACHINE_FIELDS = frozenset(
+    f.name for f in fields(MachineConfig) if f.name != "network"
+)
+
+
+def apply_overrides(
+    config: MachineConfig, overrides: Optional[Mapping[str, object]]
+) -> MachineConfig:
+    """A copy of ``config`` with flat field overrides applied.
+
+    Accepts top-level :class:`MachineConfig` fields (``memory_latency``,
+    ``tm_commit_latency``, ...) and :class:`NetworkConfig` fields
+    (``queue_depth``, ``queue_cycles_per_hop``, ...) in one mapping --
+    the shape the design-space sweep driver explores.  Unknown keys
+    raise so a typo'd axis never silently sweeps nothing.
+    """
+    if not overrides:
+        return config
+    unknown = sorted(
+        key
+        for key in overrides
+        if key not in _NETWORK_FIELDS and key not in _MACHINE_FIELDS
+    )
+    if unknown:
+        raise ValueError(
+            f"unknown machine-config override(s): {', '.join(unknown)}"
+        )
+    network_kwargs = {
+        key: value
+        for key, value in overrides.items()
+        if key in _NETWORK_FIELDS
+    }
+    machine_kwargs = {
+        key: value
+        for key, value in overrides.items()
+        if key in _MACHINE_FIELDS
+    }
+    if network_kwargs:
+        machine_kwargs["network"] = replace(config.network, **network_kwargs)
+    return replace(config, **machine_kwargs)
 
 
 def mesh(n_cores: int) -> MachineConfig:

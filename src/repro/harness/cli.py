@@ -1,11 +1,24 @@
 """Command-line interface to the reproduction.
 
-    python -m repro.harness.cli list
+    python -m repro.harness.cli list --generated 3
     python -m repro.harness.cli run --benchmark gsmdecode --cores 4 \
         --strategy hybrid
+    python -m repro.harness.cli run --benchmark gen:7 --cores 4
     python -m repro.harness.cli figure --figure 10 --jobs 4
     python -m repro.harness.cli figure --figure 13 --benchmarks gsmdecode epic
     python -m repro.harness.cli verify --report findings.json
+    python -m repro.harness.cli sweep --generated 4 --cores 2 4 \
+        --queue-depths 4 16 --hop-latencies 1 4 --out sweep.json
+
+Every ``--benchmark``/``--benchmarks``/``--workloads`` slot accepts
+generated-workload handles (``gen:<seed>[:<knobs-hash>]``, see
+:mod:`repro.workloads.generator`) interchangeably with suite names.
+
+``sweep`` crosses machine-design axes (mesh size, operand-queue depth,
+queue-mode hop latency, memory latency, TM commit budget) against the
+selected workloads through the cached parallel runner and writes the
+per-strategy Pareto frontiers -- resource-aware dominance over the
+swept axes -- as one JSON artifact.
 
 Simulation results are cached on disk (``.repro-cache/`` by default, keyed
 by a content hash of program + config + seed) so a repeated figure run is
@@ -49,6 +62,7 @@ from typing import List, Optional, Sequence
 from .. import api
 from ..sim.faults import FAULT_PROFILES, FaultConfig
 from ..sim.stats import STALL_CATEGORIES
+from ..workloads.generator import generate_handles, is_generated, parse_handle
 from ..workloads.suite import BENCHMARKS
 from .experiments import SINGLE_STRATEGIES
 from .reporting import (
@@ -142,10 +156,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the benchmark suite")
+    listing = sub.add_parser(
+        "list",
+        help="list the benchmark suite (and generated handles)",
+        description="Print the 25 named benchmarks; --generated N appends "
+        "N generated-workload handles (gen:<seed>:<knobs-hash>) for "
+        "consecutive seeds, usable anywhere a benchmark name is.",
+    )
+    listing.add_argument(
+        "--generated",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print N generated-workload handles (default 0)",
+    )
+    listing.add_argument(
+        "--gen-seed",
+        type=int,
+        default=1,
+        help="first generator seed for --generated (default 1)",
+    )
 
     run = sub.add_parser("run", help="run one benchmark end to end")
-    run.add_argument("--benchmark", required=True, choices=sorted(BENCHMARKS))
+    run.add_argument(
+        "--benchmark",
+        required=True,
+        metavar="NAME",
+        help="a suite benchmark or a generated handle "
+        "(gen:<seed>[:<knobs-hash>])",
+    )
     run.add_argument("--cores", type=int, default=4, choices=(1, 2, 4))
     run.add_argument(
         "--strategy",
@@ -183,9 +222,93 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmarks",
         nargs="*",
         default=None,
-        help="restrict to a subset (default: all 25)",
+        help="restrict to a subset of names or generated handles "
+        "(default: all 25)",
     )
     _add_runner_options(figure)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="sweep machine configs x workloads; Pareto frontiers as JSON",
+        description="Cross machine-design axes (mesh size, operand-queue "
+        "depth, queue-mode hop latency, memory latency, TM commit budget) "
+        "against named and/or generated workloads through the cached "
+        "parallel runner, and report per-strategy Pareto frontiers "
+        "(resource-aware dominance: at least the speedup on hardware no "
+        "more expensive in any axis).",
+    )
+    sweep.add_argument(
+        "--workloads",
+        nargs="*",
+        default=(),
+        metavar="NAME",
+        help="suite benchmarks and/or generated handles to sweep",
+    )
+    sweep.add_argument(
+        "--generated",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally generate N seeded workloads (default 0)",
+    )
+    sweep.add_argument(
+        "--gen-seed",
+        type=int,
+        default=1,
+        help="first generator seed for --generated (default 1)",
+    )
+    sweep.add_argument(
+        "--strategies",
+        nargs="*",
+        default=("ilp", "tlp", "llp", "hybrid"),
+        choices=("ilp", "tlp", "llp", "hybrid"),
+        help="strategies to frontier (default: all four)",
+    )
+    sweep.add_argument(
+        "--cores",
+        nargs="*",
+        type=int,
+        default=(2, 4),
+        help="mesh sizes to sweep (default 2 4)",
+    )
+    sweep.add_argument(
+        "--queue-depths",
+        nargs="*",
+        type=int,
+        default=(16,),
+        help="operand-queue depths to sweep (default 16)",
+    )
+    sweep.add_argument(
+        "--hop-latencies",
+        nargs="*",
+        type=int,
+        default=(1,),
+        metavar="CYCLES",
+        help="queue-mode cycles per hop to sweep (default 1)",
+    )
+    sweep.add_argument(
+        "--memory-latencies",
+        nargs="*",
+        type=int,
+        default=(100,),
+        metavar="CYCLES",
+        help="main-memory latencies to sweep (default 100)",
+    )
+    sweep.add_argument(
+        "--tm-commit-latencies",
+        nargs="*",
+        type=int,
+        default=(4,),
+        metavar="CYCLES",
+        help="TM commit-check budgets to sweep (default 4)",
+    )
+    sweep.add_argument(
+        "--out",
+        default="sweep.json",
+        metavar="FILE",
+        help="Pareto/sweep JSON artifact path (default sweep.json)",
+    )
+    _add_runner_options(sweep)
 
     verify = sub.add_parser(
         "verify",
@@ -246,13 +369,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list(out) -> int:
-    for name in BENCHMARKS:
+def _check_workloads(names, out) -> bool:
+    """Validate a mixed list of suite names and generated handles; any
+    bad entry is reported (a malformed handle says why)."""
+    bad = []
+    for name in names:
+        if name in BENCHMARKS:
+            continue
+        if is_generated(name):
+            try:
+                parse_handle(name)
+                continue
+            except (KeyError, ValueError) as error:
+                bad.append(f"{name} ({error})")
+                continue
+        bad.append(name)
+    if bad:
+        print(f"unknown benchmarks: {', '.join(bad)}", file=out)
+    return not bad
+
+
+def _cmd_list(args, out) -> int:
+    for name in api.list_benchmarks(
+        generated=args.generated, gen_seed=args.gen_seed
+    ):
         print(name, file=out)
     return 0
 
 
 def _cmd_run(args, out) -> int:
+    if not _check_workloads([args.benchmark], out):
+        return 2
     obs = None
     if args.trace_out or args.metrics_out:
         from ..obs import Observability, ObsConfig
@@ -306,7 +453,52 @@ def _cmd_run(args, out) -> int:
     return 0
 
 
+def _cmd_sweep(args, out) -> int:
+    from .sweep import render_frontiers
+
+    if args.faults:
+        # A chaos sweep would fold fault timing noise into every Pareto
+        # point; keep the design-space story clean.
+        print("sweep does not support --faults", file=out)
+        return 2
+    workloads = list(args.workloads)
+    if args.generated:
+        workloads.extend(generate_handles(args.generated, args.gen_seed))
+    if not workloads:
+        print("sweep needs --workloads and/or --generated N", file=out)
+        return 2
+    if not _check_workloads(workloads, out):
+        return 2
+    document = api.sweep(
+        workloads,
+        strategies=args.strategies,
+        cores=args.cores,
+        queue_depths=args.queue_depths,
+        queue_cycles_per_hop=args.hop_latencies,
+        memory_latencies=args.memory_latencies,
+        tm_commit_latencies=args.tm_commit_latencies,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        jobs=args.jobs,
+        cell_timeout=args.cell_timeout,
+        out=args.out,
+    )
+    print(render_frontiers(document), file=out)
+    cache = document["cache"]
+    if args.no_cache:
+        print("cache     : disabled", file=out)
+    else:
+        print(
+            f"cache     : {cache['hits']} hit(s), {cache['misses']} miss(es) "
+            f"({args.cache_dir})",
+            file=out,
+        )
+    print(f"artifact  : {args.out}", file=out)
+    return 0
+
+
 def _cmd_figure(args, out) -> int:
+    if args.benchmarks and not _check_workloads(args.benchmarks, out):
+        return 2
     runner = _make_runner(args, args.benchmarks)
     figure = args.figure
     if figure == "3":
@@ -404,9 +596,7 @@ def _cmd_verify(args, out) -> int:
     from ..workloads.suite import build
 
     names = list(args.benchmarks or BENCHMARKS)
-    unknown = [n for n in names if n not in BENCHMARKS]
-    if unknown:
-        print(f"unknown benchmarks: {', '.join(unknown)}", file=out)
+    if not _check_workloads(names, out):
         return 2
     grid = _verify_grid(args)
     reports = []
@@ -461,11 +651,13 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        return _cmd_list(out)
+        return _cmd_list(args, out)
     if args.command == "run":
         return _cmd_run(args, out)
     if args.command == "figure":
         return _cmd_figure(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
     if args.command == "verify":
         return _cmd_verify(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -43,7 +43,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..arch.config import MachineConfig, mesh, single_core
+from ..arch.config import MachineConfig, apply_overrides, mesh, single_core
 from ..compiler.driver import VoltronCompiler
 from ..isa.interp import run_program
 from ..isa.registers import Value
@@ -161,13 +161,15 @@ def _run_cells_worker(spec: Tuple) -> List[Dict[str, object]]:
     compiler, and the reference-interpreter run are paid once per worker
     task instead of once per (cores, strategy) point.  Top-level so
     ProcessPoolExecutor can address it by qualified name."""
-    name, cells, seed, max_cycles, cache_dir, fault_config = spec
+    name, cells, seed, max_cycles, cache_dir, fault_config = spec[:6]
+    config_overrides = spec[6] if len(spec) > 6 else None
     runner = ExperimentRunner(
         benchmarks=[name],
         seed=seed,
         max_cycles=max_cycles,
         cache_dir=cache_dir,
         faults=fault_config,
+        config_overrides=config_overrides,
     )
     return [
         runner.run(name, n_cores, strategy).to_dict()
@@ -190,6 +192,7 @@ class ExperimentRunner:
         retry_backoff: float = 0.25,
         faults: Optional[FaultConfig] = None,
         obs=None,
+        config_overrides: Optional[Dict[str, object]] = None,
     ) -> None:
         if obs is not None:
             # An Observability bus observes exactly one run, and a cached
@@ -219,6 +222,11 @@ class ExperimentRunner:
         #: Base of the exponential backoff slept between pool rounds.
         self.retry_backoff = retry_backoff
         self.fault_config = faults
+        #: Flat machine-config overrides (queue depth, hop latency, TM
+        #: commit cost, ...) applied on top of the per-core-count default
+        #: shape; the sweep driver explores the design space through
+        #: this.  Folded into every cache key via the config's repr.
+        self.config_overrides = dict(config_overrides) if config_overrides else None
         #: Observability bus for the next simulated cell (single-use: the
         #: first uncached simulation consumes it).
         self.obs = obs
@@ -243,6 +251,11 @@ class ExperimentRunner:
         if name not in self._built:
             self._built[name] = build(name, self.seed)
         return self._built[name]
+
+    def machine_config(self, n_cores: int) -> MachineConfig:
+        """The machine shape simulated for ``n_cores``: the standard
+        mesh preset with this runner's overrides applied on top."""
+        return apply_overrides(_config_for(n_cores), self.config_overrides)
 
     def compiler(self, name: str) -> VoltronCompiler:
         if name not in self._compilers:
@@ -273,7 +286,7 @@ class ExperimentRunner:
         if key is None:
             key = cache_key(
                 self.benchmark(name).program,
-                _config_for(n_cores),
+                self.machine_config(n_cores),
                 self.seed,
                 strategy,
                 self.max_cycles,
@@ -322,7 +335,7 @@ class ExperimentRunner:
 
     def _simulate(self, name: str, n_cores: int, strategy: str) -> RunResult:
         bench = self.benchmark(name)
-        config = _config_for(n_cores)
+        config = self.machine_config(n_cores)
         compiled = self.compiler(name).compile(strategy, config)
         plan = self._fault_plan(name, n_cores, strategy)
         obs, self.obs = self.obs, None  # single-use: first simulation wins
@@ -416,6 +429,7 @@ class ExperimentRunner:
                 self.max_cycles,
                 self._cache_dir,
                 self.fault_config,
+                self.config_overrides,
             )
             for name, name_cells in by_name.items()
         ]

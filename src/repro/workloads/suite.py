@@ -177,7 +177,18 @@ class Benchmark:
 
 
 def build(name: str, seed: int = 1) -> Benchmark:
-    """Construct one suite benchmark as a fresh program."""
+    """Construct one suite benchmark (or generated handle) as a fresh
+    program.
+
+    ``gen:<seed>:<knobs-hash>`` handles resolve through the parametric
+    generator (:mod:`repro.workloads.generator`) and deliberately ignore
+    the build ``seed``: the handle alone pins the program bit-for-bit,
+    keeping its content-hash cache keys stable across sessions.
+    """
+    if name.startswith("gen:"):
+        from .generator import build_generated
+
+        return build_generated(name)
     try:
         recipe = RECIPES[name]
     except KeyError:

@@ -193,3 +193,48 @@ class TestCliProfiling:
         assert "metrics   :" in output
         # Profiling forced the run off the cache.
         assert not (tmp_path / "cache").exists()
+
+
+class TestGeneratedFacade:
+    def test_list_benchmarks_appends_generated_handles(self):
+        from repro.workloads.generator import parse_handle
+
+        names = api.list_benchmarks(generated=3, gen_seed=50)
+        assert names[:-3] == sorted(BENCHMARKS)
+        handles = names[-3:]
+        assert [parse_handle(h)[0] for h in handles] == [50, 51, 52]
+
+    def test_generate_workload_returns_runnable_handle(self):
+        from repro.workloads.generator import GenKnobs
+
+        handle = api.generate_workload(
+            seed=60, knobs=GenKnobs(regions=(1, 2), trips=(8, 16))
+        )
+        assert handle.startswith("gen:60:")
+        result = api.run_cell(handle, cores=2, strategy="tlp")
+        assert result.correct
+        assert result.cycles > 0
+
+    def test_session_accepts_config_overrides(self):
+        runner = api.session(
+            benchmarks=["rawcaudio"],
+            config_overrides={"memory_latency": 37},
+        )
+        assert runner.machine_config(4).memory_latency == 37
+
+    def test_sweep_facade_writes_artifact(self, tmp_path):
+        from repro.workloads.generator import GenKnobs, make_handle
+
+        handle = make_handle(61, GenKnobs(regions=(1, 2), trips=(8, 16)))
+        out_path = tmp_path / "sweep.json"
+        document = repro.sweep(
+            [handle],
+            strategies=("hybrid",),
+            cores=(2, 4),
+            queue_depths=(4, 16),
+            cache_dir=tmp_path / "cache",
+            out=out_path,
+        )
+        assert len(document["points"]) == 4
+        assert document["frontiers"]["hybrid"]
+        assert json.loads(out_path.read_text()) == document

@@ -19,8 +19,11 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_unknown_benchmark_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "--benchmark", "nope"])
+        # --benchmark is free-form (generated gen:<seed> handles are
+        # legal), so rejection happens at command level, not argparse.
+        code, text = run_cli(["run", "--benchmark", "nope"])
+        assert code == 2
+        assert "unknown benchmark" in text
 
     def test_defaults(self):
         args = build_parser().parse_args(["run", "--benchmark", "gsmdecode"])
@@ -67,3 +70,81 @@ class TestCommands:
         )
         assert code == 0
         assert "coupled" in text and "%" in text
+
+
+class TestGeneratedWorkloads:
+    def test_list_with_generated_handles(self):
+        code, text = run_cli(["list", "--generated", "3", "--gen-seed", "7"])
+        assert code == 0
+        lines = text.strip().splitlines()
+        assert len(lines) == 28  # 25 named + 3 generated
+        handles = [line for line in lines if line.startswith("gen:7")]
+        assert len(handles) == 1
+        assert any(line.startswith("gen:9") for line in lines)
+
+    def test_run_generated_handle(self):
+        from repro.workloads.generator import GenKnobs, make_handle
+
+        handle = make_handle(11, GenKnobs(regions=(1, 2), trips=(8, 16)))
+        code, text = run_cli(
+            ["run", "--benchmark", handle, "--cores", "2",
+             "--strategy", "tlp"]
+        )
+        assert code == 0
+        assert "speedup" in text and "correct" in text
+
+    def test_run_malformed_handle_is_exit_2(self):
+        code, text = run_cli(["run", "--benchmark", "gen:notanumber"])
+        assert code == 2
+        assert "unknown benchmark" in text
+
+    def test_run_unregistered_knobs_hash_is_exit_2(self):
+        code, text = run_cli(["run", "--benchmark", "gen:1:deadbeef0000"])
+        assert code == 2
+        assert "unknown benchmark" in text
+
+    def test_verify_generated_handle(self):
+        from repro.workloads.generator import GenKnobs, make_handle
+
+        handle = make_handle(12, GenKnobs(regions=(1, 1), trips=(8, 16)))
+        code, text = run_cli(
+            ["verify", "--benchmarks", handle, "--cores", "2",
+             "--strategies", "hybrid"]
+        )
+        assert code == 0
+        assert "0 with findings" in text
+
+
+class TestSweepCommand:
+    def test_sweep_generated_three_axes(self, tmp_path):
+        out_path = tmp_path / "sweep.json"
+        code, text = run_cli(
+            ["sweep", "--generated", "2", "--gen-seed", "31",
+             "--strategies", "hybrid", "--cores", "2", "4",
+             "--queue-depths", "4", "16",
+             "--memory-latencies", "50", "200",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        assert "frontier [hybrid]" in text
+        assert str(out_path) in text
+        import json
+
+        document = json.loads(out_path.read_text())
+        assert document["varied_axes"] == [
+            "cores", "queue_depth", "memory_latency",
+        ]
+        assert len(document["points"]) == 8
+
+    def test_sweep_needs_workloads(self):
+        code, text = run_cli(["sweep"])
+        assert code == 2
+        assert "workload" in text
+
+    def test_sweep_rejects_faults(self):
+        code, text = run_cli(
+            ["sweep", "--workloads", "rawcaudio", "--faults"]
+        )
+        assert code == 2
+        assert "does not support --faults" in text

@@ -1,0 +1,137 @@
+"""The failure shrinker: synthetic oracles plus a planted miscompile.
+
+The synthetic tests pin the search mechanics (region drops, param cuts,
+floors, budget) with oracles that never touch the simulator.  The
+planted test is the satellite's point: drive the shrinker with the
+*real* fuzzing oracle over a PR-5 mutation-harness miscompile and show
+it hands back a smaller recipe that still reproduces the find, persisted
+as a replayable artifact.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import apply_mutation, check_benchmark
+from repro.workloads.generator import GenKnobs, build_recipe, generate_recipe
+from repro.workloads.shrink import shrink_recipe, write_repro
+
+
+def _fails_if(predicate, message="boom"):
+    """Oracle factory: fail (with ``message``) iff predicate(recipe)."""
+
+    def oracle(recipe):
+        return message if predicate(recipe) else None
+
+    return oracle
+
+
+class TestShrinkMechanics:
+    def test_passing_recipe_is_rejected_up_front(self):
+        with pytest.raises(ValueError, match="failing recipe"):
+            shrink_recipe(
+                (("doall", {"trips": 8}),), _fails_if(lambda r: False)
+            )
+
+    def test_irrelevant_regions_dropped(self):
+        recipe = (
+            ("ilp", {"trips": 16}),
+            ("doall", {"trips": 32}),
+            ("serial", {"trips": 8}),
+            ("stencil", {"trips": 16}),
+        )
+        oracle = _fails_if(
+            lambda r: any(kernel == "doall" for kernel, _ in r)
+        )
+        result = shrink_recipe(recipe, oracle)
+        assert [kernel for kernel, _ in result.recipe] == ["doall"]
+        assert result.original_regions == 4
+        assert any("drop region" in step for step in result.steps)
+
+    def test_interacting_regions_both_survive(self):
+        """A failure needing two regions keeps both -- the greedy drop
+        rescans instead of committing to a single-region answer."""
+        recipe = (
+            ("ilp", {"trips": 16}),
+            ("doall", {"trips": 32}),
+            ("dswp", {"trips": 16}),
+        )
+        oracle = _fails_if(
+            lambda r: {"ilp", "dswp"} <= {kernel for kernel, _ in r}
+        )
+        result = shrink_recipe(recipe, oracle)
+        assert {kernel for kernel, _ in result.recipe} == {"ilp", "dswp"}
+
+    def test_params_cut_to_their_floors(self):
+        recipe = (("doall", {"trips": 96, "work": 5}),)
+        result = shrink_recipe(recipe, _fails_if(lambda r: True))
+        (_, kwargs), = result.recipe
+        assert kwargs["trips"] == 2  # _PARAM_FLOORS["trips"]
+        assert kwargs["work"] == 1
+
+    def test_param_cut_stops_where_failure_stops(self):
+        """Cuts that make the recipe pass are rolled back: the minimized
+        recipe must still fail."""
+        recipe = (("doall", {"trips": 96}),)
+        oracle = _fails_if(lambda r: r[0][1]["trips"] >= 24)
+        result = shrink_recipe(recipe, oracle)
+        assert result.recipe[0][1]["trips"] >= 24
+        assert oracle(result.recipe) is not None
+
+    def test_check_budget_is_a_hard_bound(self):
+        recipe = tuple(("doall", {"trips": 96}) for _ in range(6))
+        result = shrink_recipe(
+            recipe, _fails_if(lambda r: True), max_checks=5
+        )
+        assert result.checks <= 5
+        assert result.failure
+
+
+class TestPlantedMiscompile:
+    """Shrink a real find: the PR-5 ``drop_send`` miscompile planted
+    into every compiled cell via the oracle's mutate hook."""
+
+    KNOBS = GenKnobs(trips=(8, 16), regions=(4, 4))
+
+    @staticmethod
+    def _oracle(recipe):
+        bench = build_recipe(recipe, "planted", data_seed=3)
+        verdict = check_benchmark(
+            bench,
+            static_cells=((4, "hybrid"),),
+            dynamic_cells=(),
+            mutate=lambda compiled: apply_mutation(compiled, "drop_send"),
+        )
+        return None if verdict.ok else verdict.describe()
+
+    def test_minimizes_and_persists_replayable_repro(self, tmp_path):
+        recipe = generate_recipe(2, self.KNOBS)
+        assert len(recipe) == 4
+        failure = self._oracle(recipe)
+        assert failure is not None and "static" in failure
+
+        result = shrink_recipe(recipe, self._oracle)
+        # Strictly smaller: fewer regions, or every surviving region's
+        # numeric params cut below the original recipe's.
+        assert len(result.recipe) < len(recipe) or result.steps
+        assert len(result.recipe) >= 1
+        # The minimized recipe still reproduces the find.
+        assert self._oracle(result.recipe) is not None
+
+        path = write_repro(
+            tmp_path, result, handle="gen:2:planted", seed=2, knobs=self.KNOBS
+        )
+        assert path.parent == tmp_path
+        assert path.name.startswith("repro_") and path.suffix == ".json"
+        document = json.loads(path.read_text())
+        assert document["schema_version"] == "1.0"
+        assert document["seed"] == 2
+        assert document["failure"] == result.failure
+        assert document["steps"] == result.steps
+        # The artifact's literal recipe replays to the same failure
+        # without the generator registry.
+        replayed = tuple(
+            (entry["kernel"], entry["kwargs"])
+            for entry in document["recipe"]
+        )
+        assert self._oracle(replayed) is not None
