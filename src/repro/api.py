@@ -167,6 +167,11 @@ def session(
     cell_timeout: Optional[float] = None,
     faults: Optional[FaultConfig] = None,
     config_overrides: Optional[Dict[str, object]] = None,
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    heartbeat_timeout: Optional[float] = None,
+    backoff_seed: Optional[int] = None,
+    max_abandoned: int = 0,
 ) -> ExperimentRunner:
     """A reusable experiment session (shared builds, cache, worker pool).
 
@@ -176,6 +181,17 @@ def session(
     ``queue_cycles_per_hop``, ``memory_latency``, ``tm_commit_latency``,
     ...) on top of the standard mesh presets -- the knob the design-space
     sweep turns.
+
+    ``journal=`` arms the crash-safe write-ahead
+    :class:`~repro.harness.journal.RunJournal`: one fsynced JSONL record
+    per cell lifecycle event, so an interrupted session resumes with
+    ``resume=True`` (cells with a durable ``completed`` record replay
+    from the cache, bit-identical, with zero re-simulation).
+    ``heartbeat_timeout`` arms worker supervision (hung/frozen pool
+    workers are detected and retried before their full deadline);
+    ``backoff_seed`` pins the deterministic retry-backoff jitter;
+    ``max_abandoned`` bounds how many poisoned cells a prefetch absorbs
+    as ``abandoned`` before raising.
     """
     return ExperimentRunner(
         benchmarks=benchmarks,
@@ -186,6 +202,11 @@ def session(
         cell_timeout=cell_timeout,
         faults=faults,
         config_overrides=config_overrides,
+        journal=journal,
+        resume=resume,
+        heartbeat_timeout=heartbeat_timeout,
+        backoff_seed=backoff_seed,
+        max_abandoned=max_abandoned,
     )
 
 
@@ -232,6 +253,8 @@ def run_figure(
     cell_timeout: Optional[float] = None,
     faults: Optional[FaultConfig] = None,
     runner: Optional[ExperimentRunner] = None,
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> Dict:
     """Reproduce one paper figure; returns its data table.
 
@@ -239,6 +262,8 @@ def run_figure(
     figure's default core count where it has one (figures 3, 12, 14; 10
     and 11 fix their own).  Pass an existing ``runner`` (from
     :func:`session`) to share builds and cache across several figures.
+    ``journal=``/``resume=`` make the figure run crash-safe and
+    resumable (see :func:`session`).
     """
     if figure not in FIGURES:
         raise ValueError(f"unknown figure {figure!r}; expected one of {FIGURES}")
@@ -250,6 +275,8 @@ def run_figure(
             jobs=jobs,
             cell_timeout=cell_timeout,
             faults=faults,
+            journal=journal,
+            resume=resume,
         )
     if figure == "3":
         return runner.fig3_breakdown(cores if cores is not None else 4)
@@ -281,6 +308,9 @@ def sweep(
     jobs: int = 1,
     cell_timeout: Optional[float] = None,
     out: Optional[Union[str, Path]] = None,
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    heartbeat_timeout: Optional[float] = None,
 ) -> Dict:
     """Sweep machine configurations across workloads; Pareto per strategy.
 
@@ -292,6 +322,12 @@ def sweep(
     simulate new points.  Returns the sweep document (see
     :mod:`repro.harness.sweep` for the schema) and, with ``out=``,
     writes it as a JSON artifact.
+
+    ``journal=`` makes the sweep crash-safe: every cell's lifecycle is
+    write-ahead journaled (fsynced JSONL), Ctrl-C/SIGTERM flush before
+    exit, and ``resume=True`` replays an interrupted sweep so only
+    cells without a durable ``completed`` record re-simulate; the
+    resulting Pareto document matches an uninterrupted sweep's.
     """
     from .harness.sweep import SweepSpec, run_sweep, write_sweep
 
@@ -311,6 +347,9 @@ def sweep(
         cache_dir=cache_dir,
         jobs=jobs,
         cell_timeout=cell_timeout,
+        journal=journal,
+        resume=resume,
+        heartbeat_timeout=heartbeat_timeout,
     )
     if out is not None:
         write_sweep(document, out)

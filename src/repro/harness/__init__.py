@@ -15,11 +15,19 @@ from .experiments import (
     arithmean,
     geomean,
 )
+from .journal import (
+    JOURNAL_VERSION,
+    JournalReplay,
+    RunJournal,
+    flush_on_signals,
+    read_journal,
+)
 from .reporting import (
     render_bar_breakdown,
     render_cache_line,
     render_failure_line,
     render_fault_line,
+    render_journal_line,
     render_recovery_line,
     render_table,
 )
@@ -29,18 +37,24 @@ __all__ = [
     "CACHE_VERSION",
     "ExperimentRunner",
     "FailureSummary",
+    "JOURNAL_VERSION",
+    "JournalReplay",
     "ResultCache",
+    "RunJournal",
     "RunResult",
     "SINGLE_STRATEGIES",
     "arithmean",
     "cache_key",
+    "flush_on_signals",
     "geomean",
     "program_fingerprint",
+    "read_journal",
     "reference_key",
     "render_bar_breakdown",
     "render_cache_line",
     "render_failure_line",
     "render_fault_line",
+    "render_journal_line",
     "render_recovery_line",
     "render_table",
     "TraceEvent",

@@ -94,8 +94,11 @@ def reference_key(program: Program) -> str:
 class ResultCache:
     """A directory of JSON run results, keyed by content hash."""
 
-    def __init__(self, root: Path) -> None:
+    def __init__(self, root: Path, durable: bool = True) -> None:
         self.root = Path(root)
+        #: fsync file + directory on every store (the crash-safety
+        #: contract).  Off only for throughput-sensitive tests.
+        self.durable = durable
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
@@ -134,19 +137,43 @@ class ResultCache:
     def store(self, key: str, payload: Dict[str, Any]) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
         envelope = {"cache_version": CACHE_VERSION, "payload": payload}
-        # Atomic publish: a concurrent reader sees the old entry or the
-        # new one, never a partial write.
+        # Atomic, *durable* publish: the temp file is fsynced before the
+        # rename and the directory entry after it, so a concurrent reader
+        # sees the old entry or the new one -- and a SIGKILL or power
+        # loss immediately after store() cannot leave a zero-length or
+        # torn file behind the rename.  The run journal leans on this:
+        # its ``completed`` records promise a durable cache entry.
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(envelope, handle)
+                handle.flush()
+                if self.durable:
+                    os.fsync(handle.fileno())
             os.replace(tmp, self._path(key))
+            if self.durable:
+                self._fsync_root()
         except BaseException:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             raise
+
+    def _fsync_root(self) -> None:
+        """fsync the cache directory so a just-renamed entry's name is
+        durable too.  Best effort: some platforms/filesystems refuse
+        directory fsync, and durability there degrades gracefully."""
+        try:
+            dir_fd = os.open(self.root, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
 
     def _quarantine(self, path: Path) -> None:
         """Rename a bad entry to ``<name>.corrupt`` (unlink if the rename

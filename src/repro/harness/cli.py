@@ -25,7 +25,16 @@ by a content hash of program + config + seed) so a repeated figure run is
 nearly free; pass ``--no-cache`` to force fresh simulations.  ``--jobs N``
 fans independent (benchmark, cores, strategy) cells out over N worker
 processes; ``--cell-timeout`` bounds each cell's wall-clock time on the
-pool (overdue or crashed cells are retried, then re-run serially).
+pool (overdue or crashed cells are retried, then re-run serially);
+``--heartbeat-timeout`` additionally reaps workers that go silent.
+
+``--journal FILE`` makes ``run``/``figure``/``sweep`` crash-safe: every
+cell lifecycle event (planned/dispatched/completed/failed/abandoned) is
+appended to a write-ahead JSONL journal and fsynced before the run
+proceeds, and SIGTERM/Ctrl-C flush it before exiting.  After a crash or
+kill, ``--resume FILE`` replays the journal against the result cache
+and re-dispatches only the cells without a durable ``completed``
+record -- the resumed output is identical to an uninterrupted run's.
 
 ``--faults`` turns on deterministic fault injection (chaos mode): every
 simulation runs under a seeded fault plan (``--fault-seed``,
@@ -65,11 +74,13 @@ from ..sim.stats import STALL_CATEGORIES
 from ..workloads.generator import generate_handles, is_generated, parse_handle
 from ..workloads.suite import BENCHMARKS
 from .experiments import SINGLE_STRATEGIES
+from .journal import flush_on_signals
 from .reporting import (
     render_bar_breakdown,
     render_cache_line,
     render_failure_line,
     render_fault_line,
+    render_journal_line,
     render_recovery_line,
     render_table,
 )
@@ -103,6 +114,38 @@ def _add_runner_options(subparser: argparse.ArgumentParser) -> None:
         metavar="SECONDS",
         help="wall-clock deadline per simulation cell on the worker pool "
         "(overdue cells are retried, then run serially; default none)",
+    )
+    subparser.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="write-ahead run journal (fsynced JSONL, one record per cell "
+        "lifecycle event) making this run crash-safe; starts a fresh "
+        "journal at FILE -- use --resume to continue one",
+    )
+    subparser.add_argument(
+        "--resume",
+        default=None,
+        metavar="FILE",
+        help="resume an interrupted run from its journal: replay FILE "
+        "against the result cache, re-dispatch only cells without a "
+        "durable completed record, and keep journaling to FILE",
+    )
+    subparser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="arm worker supervision: a pool worker silent past this many "
+        "seconds is declared hung/killed and its cells retried, without "
+        "waiting out the full --cell-timeout (default off)",
+    )
+    subparser.add_argument(
+        "--backoff-seed",
+        type=int,
+        default=None,
+        help="seed of the deterministic retry-backoff jitter (default: "
+        "the build seed)",
     )
     subparser.add_argument(
         "--faults",
@@ -146,6 +189,10 @@ def _make_runner(args, benchmarks):
         jobs=args.jobs,
         cell_timeout=args.cell_timeout,
         faults=faults,
+        journal=args.resume or args.journal,
+        resume=bool(args.resume),
+        heartbeat_timeout=args.heartbeat_timeout,
+        backoff_seed=args.backoff_seed,
     )
 
 
@@ -412,8 +459,12 @@ def _cmd_run(args, out) -> int:
     runner.obs = obs
     n_cores = args.cores
     strategy = "baseline" if n_cores == 1 else args.strategy
-    result = runner.run(args.benchmark, n_cores, strategy)
-    base = runner.baseline(args.benchmark)
+    try:
+        with flush_on_signals(runner.journal):
+            result = runner.run(args.benchmark, n_cores, strategy)
+            base = runner.baseline(args.benchmark)
+    finally:
+        runner.close_journal()
     stats = result.stats
     print(f"benchmark : {args.benchmark}", file=out)
     print(f"machine   : {n_cores} core(s), strategy {strategy}", file=out)
@@ -432,6 +483,9 @@ def _cmd_run(args, out) -> int:
     if recovery_line:
         print(recovery_line, file=out)
     print(render_failure_line(runner), file=out)
+    journal_line = render_journal_line(runner)
+    if journal_line:
+        print(journal_line, file=out)
     if args.stalls:
         for category in STALL_CATEGORIES:
             mean = stats.mean_stalls(category)
@@ -480,6 +534,9 @@ def _cmd_sweep(args, out) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         jobs=args.jobs,
         cell_timeout=args.cell_timeout,
+        journal=args.resume or args.journal,
+        resume=bool(args.resume),
+        heartbeat_timeout=args.heartbeat_timeout,
         out=args.out,
     )
     print(render_frontiers(document), file=out)
@@ -492,6 +549,15 @@ def _cmd_sweep(args, out) -> int:
             f"({args.cache_dir})",
             file=out,
         )
+    journal_doc = document.get("journal")
+    if journal_doc:
+        print(
+            f"journal   : {journal_doc['replayed']} replayed / "
+            f"{journal_doc['rerun']} re-run / "
+            f"{journal_doc['abandoned']} abandoned "
+            f"({journal_doc['path']})",
+            file=out,
+        )
     print(f"artifact  : {args.out}", file=out)
     return 0
 
@@ -500,7 +566,26 @@ def _cmd_figure(args, out) -> int:
     if args.benchmarks and not _check_workloads(args.benchmarks, out):
         return 2
     runner = _make_runner(args, args.benchmarks)
-    figure = args.figure
+    try:
+        with flush_on_signals(runner.journal):
+            _render_figure(runner, args.figure, out)
+    finally:
+        runner.close_journal()
+    print(render_cache_line(runner), file=out)
+    fault_line = render_fault_line(runner)
+    if fault_line:
+        print(fault_line, file=out)
+    recovery_line = render_recovery_line(runner)
+    if recovery_line:
+        print(recovery_line, file=out)
+    print(render_failure_line(runner), file=out)
+    journal_line = render_journal_line(runner)
+    if journal_line:
+        print(journal_line, file=out)
+    return 0
+
+
+def _render_figure(runner, figure, out) -> None:
     if figure == "3":
         print(
             render_bar_breakdown(
@@ -560,15 +645,6 @@ def _cmd_figure(args, out) -> int:
             ),
             file=out,
         )
-    print(render_cache_line(runner), file=out)
-    fault_line = render_fault_line(runner)
-    if fault_line:
-        print(fault_line, file=out)
-    recovery_line = render_recovery_line(runner)
-    if recovery_line:
-        print(recovery_line, file=out)
-    print(render_failure_line(runner), file=out)
-    return 0
 
 
 def _verify_grid(args) -> List[tuple]:
@@ -650,16 +726,33 @@ def _cmd_verify(args, out) -> int:
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list(args, out)
-    if args.command == "run":
-        return _cmd_run(args, out)
-    if args.command == "figure":
-        return _cmd_figure(args, out)
-    if args.command == "sweep":
-        return _cmd_sweep(args, out)
-    if args.command == "verify":
-        return _cmd_verify(args, out)
+    try:
+        if args.command == "list":
+            return _cmd_list(args, out)
+        if args.command == "run":
+            return _cmd_run(args, out)
+        if args.command == "figure":
+            return _cmd_figure(args, out)
+        if args.command == "sweep":
+            return _cmd_sweep(args, out)
+        if args.command == "verify":
+            return _cmd_verify(args, out)
+    except KeyboardInterrupt:
+        # SIGTERM/SIGINT land here after flush_on_signals has written a
+        # durable ``interrupted`` record and closed the journal, so the
+        # interrupted run is always resumable.
+        journal = getattr(args, "resume", None) or getattr(
+            args, "journal", None
+        )
+        if journal:
+            print(
+                f"interrupted: journal flushed -- resume with "
+                f"--resume {journal}",
+                file=out,
+            )
+        else:
+            print("interrupted", file=out)
+        return 130
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -32,6 +32,9 @@ differential test.
 from __future__ import annotations
 
 import hashlib
+import random
+import tempfile
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -52,6 +55,7 @@ from ..sim.machine import VoltronMachine
 from ..sim.stats import MachineStats, STALL_CATEGORIES
 from ..workloads.suite import BENCHMARKS, Benchmark, build
 from .cache import ResultCache, cache_key, reference_key
+from .journal import JournalReplay, RunJournal
 
 #: Strategies evaluated per figure.
 SINGLE_STRATEGIES = ("ilp", "tlp", "llp")
@@ -139,6 +143,13 @@ class FailureSummary:
     #: Cache entries moved aside as unreadable (mirrors
     #: ``ResultCache.quarantined``; synced by ``failure_summary``).
     cache_quarantined: int = 0
+    #: Cells given up on entirely (every pool round *and* the serial
+    #: fallback failed); the journal records them as ``abandoned``.
+    abandoned: List[str] = field(default_factory=list)
+    #: Cell label -> how many attempts (pool dispatches + serial runs)
+    #: it took.  A clean run leaves every count at 1; the count is
+    #: bookkeeping, not a failure, so ``any()`` ignores it.
+    attempts: Dict[str, int] = field(default_factory=dict)
 
     def any(self) -> bool:
         return bool(
@@ -147,11 +158,37 @@ class FailureSummary:
             or self.degraded
             or self.worker_crashes
             or self.cache_quarantined
+            or self.abandoned
         )
+
+    def max_attempts(self) -> int:
+        """The worst per-cell attempt count (0 with no attempts tracked)."""
+        return max(self.attempts.values(), default=0)
 
 
 def _cell_label(name: str, n_cores: int, strategy: str) -> str:
     return f"{name}[{n_cores}-{strategy}]"
+
+
+def _heartbeat_path(hb_dir: Union[str, Path], name: str) -> Path:
+    """The heartbeat file for one worker task, keyed by its benchmark
+    (the fan-out unit, unique within a pool round)."""
+    digest = hashlib.sha256(name.encode()).hexdigest()[:12]
+    return Path(hb_dir) / f"hb-{digest}"
+
+
+def _write_heartbeat(path: Path) -> None:
+    try:
+        path.write_text(repr(time.time()))
+    except OSError:
+        pass  # a lost beat only risks a spurious retry, never corruption
+
+
+def _read_heartbeat(path: Path) -> Optional[float]:
+    try:
+        return float(path.read_text())
+    except (OSError, ValueError):
+        return None  # absent or torn mid-write: no verdict either way
 
 
 def _run_cells_worker(spec: Tuple) -> List[Dict[str, object]]:
@@ -160,21 +197,44 @@ def _run_cells_worker(spec: Tuple) -> List[Dict[str, object]]:
     The fan-out unit is a benchmark, not a cell, so the build, the
     compiler, and the reference-interpreter run are paid once per worker
     task instead of once per (cores, strategy) point.  Top-level so
-    ProcessPoolExecutor can address it by qualified name."""
+    ProcessPoolExecutor can address it by qualified name.
+
+    When the spec carries a heartbeat assignment (``spec[7]``: a
+    ``(dir, interval)`` pair), a daemon thread touches this task's
+    heartbeat file every ``interval`` seconds for as long as the task
+    runs, so the driver's supervisor can tell a slow-but-alive worker
+    from a hung or frozen one without waiting out the full deadline."""
     name, cells, seed, max_cycles, cache_dir, fault_config = spec[:6]
     config_overrides = spec[6] if len(spec) > 6 else None
-    runner = ExperimentRunner(
-        benchmarks=[name],
-        seed=seed,
-        max_cycles=max_cycles,
-        cache_dir=cache_dir,
-        faults=fault_config,
-        config_overrides=config_overrides,
-    )
-    return [
-        runner.run(name, n_cores, strategy).to_dict()
-        for n_cores, strategy in cells
-    ]
+    heartbeat = spec[7] if len(spec) > 7 else None
+    stop = None
+    if heartbeat is not None:
+        hb_dir, interval = heartbeat
+        hb_file = _heartbeat_path(hb_dir, name)
+        stop = threading.Event()
+
+        def _beat() -> None:
+            _write_heartbeat(hb_file)
+            while not stop.wait(interval):
+                _write_heartbeat(hb_file)
+
+        threading.Thread(target=_beat, daemon=True).start()
+    try:
+        runner = ExperimentRunner(
+            benchmarks=[name],
+            seed=seed,
+            max_cycles=max_cycles,
+            cache_dir=cache_dir,
+            faults=fault_config,
+            config_overrides=config_overrides,
+        )
+        return [
+            runner.run(name, n_cores, strategy).to_dict()
+            for n_cores, strategy in cells
+        ]
+    finally:
+        if stop is not None:
+            stop.set()
 
 
 class ExperimentRunner:
@@ -193,6 +253,13 @@ class ExperimentRunner:
         faults: Optional[FaultConfig] = None,
         obs=None,
         config_overrides: Optional[Dict[str, object]] = None,
+        journal: Optional[Union[str, Path, RunJournal]] = None,
+        resume: bool = False,
+        replay: Optional[JournalReplay] = None,
+        heartbeat_timeout: Optional[float] = None,
+        heartbeat_interval: float = 0.2,
+        backoff_seed: Optional[int] = None,
+        max_abandoned: int = 0,
     ) -> None:
         if obs is not None:
             # An Observability bus observes exactly one run, and a cached
@@ -222,6 +289,21 @@ class ExperimentRunner:
         #: Base of the exponential backoff slept between pool rounds.
         self.retry_backoff = retry_backoff
         self.fault_config = faults
+        #: Hung-worker detection: a pool task whose heartbeat file goes
+        #: stale past this many seconds is declared dead and retried,
+        #: without waiting out the (much longer) cell deadline.  None
+        #: disables supervision.
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_interval = heartbeat_interval
+        #: Seed of the deterministic retry-backoff jitter (defaults to
+        #: the build seed): decorrelates retry storms across concurrent
+        #: drivers while keeping every sleep reproducible.
+        self.backoff_seed = seed if backoff_seed is None else backoff_seed
+        self._backoff_rng = random.Random(self.backoff_seed)
+        #: How many abandoned cells a prefetch absorbs before the next
+        #: one re-raises (0 = the first serial-fallback failure still
+        #: propagates immediately, after being journaled).
+        self.max_abandoned = max(0, max_abandoned)
         #: Flat machine-config overrides (queue depth, hop latency, TM
         #: commit cost, ...) applied on top of the per-core-count default
         #: shape; the sweep driver explores the design space through
@@ -235,6 +317,31 @@ class ExperimentRunner:
         self.failures = FailureSummary()
         self.cache = ResultCache(Path(cache_dir)) if cache_dir else None
         self._cache_dir = str(cache_dir) if cache_dir else None
+        #: Replay state from a prior (interrupted) journal: loaded from
+        #: the journal path under ``resume=True``, or injected directly
+        #: (the sweep driver shares one replay across its runners).
+        self._replay = replay
+        self._owns_journal = False
+        if journal is not None and not isinstance(journal, RunJournal):
+            journal_path = Path(journal)
+            if resume and self._replay is None and journal_path.exists():
+                self._replay = JournalReplay.from_path(journal_path)
+            journal = RunJournal(
+                journal_path, resume=resume and journal_path.exists()
+            )
+            self._owns_journal = True
+        #: Write-ahead run journal (driver-side single writer); every
+        #: lifecycle record is fsynced before the run proceeds, so a
+        #: SIGKILLed driver resumes from a consistent history.
+        self.journal: Optional[RunJournal] = journal
+        #: Resume/replay tallies for the report line and sweep artifact.
+        self.journal_stats: Dict[str, int] = {
+            "replayed": 0, "rerun": 0, "abandoned": 0,
+        }
+        #: Keys already planned this run (a retry round must not re-plan).
+        self._planned_keys: set = set()
+        #: Supervision scratch dir for worker heartbeat files.
+        self._hb_dir: Optional[str] = None
         #: The pool entry point; tests swap in crashing/hanging doubles.
         self._worker_fn = _run_cells_worker
         self._built: Dict[str, Benchmark] = {}
@@ -314,24 +421,83 @@ class ExperimentRunner:
         cell_seed = int.from_bytes(digest[:4], "big")
         return FaultPlan(replace(self.fault_config, seed=cell_seed))
 
-    def run(self, benchmark: str, cores: int, strategy: str) -> RunResult:
-        name, n_cores = benchmark, cores
-        key = (name, n_cores, strategy)
-        if key in self._runs:
-            return self._runs[key]
-        if self.cache is not None:
-            payload = self.cache.load(self._cell_key(name, n_cores, strategy))
-            if payload is not None:
-                result = RunResult.from_dict(payload)
-                self._runs[key] = result
-                return result
-        result = self._simulate(name, n_cores, strategy)
-        if self.cache is not None:
-            self.cache.store(
-                self._cell_key(name, n_cores, strategy), result.to_dict()
+    # -- journal bookkeeping -----------------------------------------------------
+
+    def close_journal(self) -> None:
+        """Close the journal if this runner opened it (constructed from a
+        path rather than handed a shared :class:`RunJournal`); a no-op
+        otherwise -- the owner (e.g. the sweep driver) closes shared ones."""
+        if self.journal is not None and self._owns_journal:
+            self.journal.close()
+
+    def _journal_key(self, cell: Cell) -> Optional[str]:
+        """The cell's content-hash key, computed only when some layer
+        (cache or journal) will use it."""
+        if self.cache is None and self.journal is None and self._replay is None:
+            return None
+        return self._cell_key(*cell)
+
+    def _note_planned(self, cell: Cell, key: Optional[str]) -> None:
+        """Journal ``planned`` exactly once per cell per run, and count
+        the resume bookkeeping: a cell with prior journal history that
+        still needs dispatching is a *re-run*."""
+        if self.journal is None and self._replay is None:
+            return
+        marker = key or _cell_label(*cell)
+        if marker in self._planned_keys:
+            return
+        self._planned_keys.add(marker)
+        if self._replay is not None and self._replay.state(marker) is not None:
+            self.journal_stats["rerun"] += 1
+        if self.journal is not None:
+            self.journal.planned(cell, key)
+
+    def _note_dispatched(self, cell: Cell, key: Optional[str], mode: str) -> None:
+        label = _cell_label(*cell)
+        attempt = self.failures.attempts.get(label, 0) + 1
+        self.failures.attempts[label] = attempt
+        if self.journal is not None:
+            self.journal.dispatched(cell, key, attempt=attempt, mode=mode)
+
+    def _note_completed(self, cell: Cell, key: Optional[str], source: str) -> None:
+        """Record durable completion -- called strictly *after* the
+        result is in the cache (or, uncached, in the run memo), so a
+        ``completed`` record always implies a recoverable result."""
+        if self.journal is not None:
+            self.journal.completed(
+                cell, key, source=source,
+                attempt=self.failures.attempts.get(_cell_label(*cell), 0),
             )
-        self._runs[key] = result
-        return result
+
+    def _note_failed(self, cell: Cell, reason: str) -> None:
+        if self.journal is not None:
+            self.journal.failed(
+                cell, self._journal_key(cell), reason=reason,
+                attempt=self.failures.attempts.get(_cell_label(*cell), 0),
+            )
+
+    def _abandon(self, cell: Cell, error: Exception) -> None:
+        """Terminal escalation: journal the cell as ``abandoned`` (the
+        journal must account for every planned cell) and tally it."""
+        self.failures.abandoned.append(_cell_label(*cell))
+        self.journal_stats["abandoned"] += 1
+        if self.journal is not None:
+            self.journal.abandoned(
+                cell, self._journal_key(cell),
+                reason=f"{type(error).__name__}: {error}",
+            )
+
+    def run(self, benchmark: str, cores: int, strategy: str) -> RunResult:
+        cell = (benchmark, cores, strategy)
+        if cell in self._runs:
+            return self._runs[cell]
+        if self._resolve_cached([cell]):
+            try:
+                self._run_uncached(cell)
+            except Exception as error:
+                self._abandon(cell, error)
+                raise
+        return self._runs[cell]
 
     def _simulate(self, name: str, n_cores: int, strategy: str) -> RunResult:
         bench = self.benchmark(name)
@@ -387,7 +553,11 @@ class ExperimentRunner:
             # The cache was already probed above, so simulate directly
             # (run() would re-probe and double-count the miss).
             for cell in pending:
-                self._run_uncached(cell)
+                try:
+                    self._run_uncached(cell)
+                except Exception as error:
+                    self._abandon(cell, error)
+                    raise
             return
         self._prefetch_parallel(pending)
 
@@ -395,32 +565,75 @@ class ExperimentRunner:
 
     def _resolve_cached(self, cells: Sequence[Cell]) -> List[Cell]:
         """Memoize every cached cell in-process (where the reporting layer
-        can see the hit/miss tallies) and return the true misses."""
+        can see the hit/miss tallies) and return the true misses.
+
+        This is also where the journal learns about cells: a cache hit
+        whose key the replayed journal already marks ``completed`` is a
+        pure *replay* (no new records, counted in ``journal_stats``);
+        any other hit records ``planned`` + ``completed``; a miss
+        records ``planned`` and joins the dispatch list."""
         pending: List[Cell] = []
         seen = set()
         for cell in cells:
             if cell in self._runs or cell in seen:
                 continue
             seen.add(cell)
+            key = self._journal_key(cell)
             if self.cache is not None:
-                payload = self.cache.load(self._cell_key(*cell))
+                payload = self.cache.load(key)
                 if payload is not None:
                     self._runs[cell] = RunResult.from_dict(payload)
+                    if (
+                        self._replay is not None
+                        and key is not None
+                        and self._replay.is_completed(key)
+                        and key not in self._planned_keys
+                    ):
+                        # Journaled complete + durable in cache: replayed
+                        # without re-simulation, exactly as promised.
+                        self._planned_keys.add(key)
+                        self.journal_stats["replayed"] += 1
+                    else:
+                        self._note_planned(cell, key)
+                        self._note_completed(cell, key, source="cache")
                     continue
+            self._note_planned(cell, key)
             pending.append(cell)
         return pending
 
     def _run_uncached(self, cell: Cell) -> None:
-        """Simulate one cell in-process and publish it to the cache."""
+        """Simulate one cell in-process and publish it to the cache (the
+        cache store is fsync-durable, so the ``completed`` record that
+        follows it never lies)."""
+        key = self._journal_key(cell)
+        self._note_dispatched(cell, key, mode="serial")
         result = self._simulate(*cell)
         if self.cache is not None:
-            self.cache.store(self._cell_key(*cell), result.to_dict())
+            self.cache.store(key, result.to_dict())
         self._runs[cell] = result
+        self._note_completed(cell, key, source="serial")
+
+    def _heartbeat_spec(self) -> Optional[Tuple[str, float]]:
+        """The ``(dir, interval)`` heartbeat assignment workers carry, or
+        None when supervision is off.  The scratch dir rides the cache
+        root when there is one (shared with workers anyway), a temp dir
+        otherwise."""
+        if self.heartbeat_timeout is None:
+            return None
+        if self._hb_dir is None:
+            if self._cache_dir is not None:
+                hb_dir = Path(self._cache_dir) / ".hb"
+                hb_dir.mkdir(parents=True, exist_ok=True)
+                self._hb_dir = str(hb_dir)
+            else:
+                self._hb_dir = tempfile.mkdtemp(prefix="repro-hb-")
+        return (self._hb_dir, self.heartbeat_interval)
 
     def _specs_for(self, cells: Sequence[Cell]) -> List[Tuple]:
         by_name: Dict[str, List[Tuple[int, str]]] = {}
         for name, n_cores, strategy in cells:
             by_name.setdefault(name, []).append((n_cores, strategy))
+        heartbeat = self._heartbeat_spec()
         return [
             (
                 name,
@@ -430,19 +643,31 @@ class ExperimentRunner:
                 self._cache_dir,
                 self.fault_config,
                 self.config_overrides,
+                heartbeat,
             )
             for name, name_cells in by_name.items()
         ]
 
+    def _backoff_delay(self, round_index: int) -> float:
+        """Exponential backoff with deterministic seeded jitter: the
+        base doubles per round, and a [1.0, 2.0) multiplier drawn from
+        ``backoff_seed`` desynchronizes retry storms across drivers that
+        share a machine, while keeping each driver's sleeps replayable."""
+        base = self.retry_backoff * (2 ** (round_index - 1))
+        return base * (1.0 + self._backoff_rng.random())
+
     def _prefetch_parallel(self, pending: List[Cell]) -> None:
         """Fan ``pending`` out to worker processes, surviving hangs and
-        crashes: each pool round enforces per-task deadlines, overdue
-        tasks are retried in the next round after an exponential backoff,
-        and once ``retries`` rounds are spent (or the pool breaks) the
-        leftovers run serially in-process -- slower, never wrong."""
+        crashes: each pool round enforces per-task deadlines (plus
+        heartbeat supervision when armed), overdue tasks are retried in
+        the next round after a jittered exponential backoff, and once
+        ``retries`` rounds are spent (or the pool breaks) the leftovers
+        run serially in-process -- slower, never wrong.  A cell that
+        fails even serially is journaled ``abandoned``; up to
+        ``max_abandoned`` of those are absorbed before re-raising."""
         for round_index in range(self.retries + 1):
             if round_index:
-                time.sleep(self.retry_backoff * (2 ** (round_index - 1)))
+                time.sleep(self._backoff_delay(round_index))
                 self.failures.retried.extend(
                     _cell_label(*cell) for cell in pending
                 )
@@ -461,27 +686,73 @@ class ExperimentRunner:
             if not pending:
                 return
         for cell in pending:
-            self.failures.degraded.append(_cell_label(*cell))
+            self._run_degraded(cell)
+
+    def _run_degraded(self, cell: Cell) -> None:
+        """Serial re-run of one cell after pool trouble; a cell that
+        fails even here escalates to ``abandoned`` (bounded by
+        ``max_abandoned``, so one poisoned cell cannot silently eat the
+        whole grid -- but a chaos run can finish around it)."""
+        self.failures.degraded.append(_cell_label(*cell))
+        try:
             self._run_uncached(cell)
+        except Exception as error:
+            self._abandon(cell, error)
+            if len(self.failures.abandoned) > self.max_abandoned:
+                raise
+
+    def _spec_cells(self, spec: Tuple) -> List[Cell]:
+        name = spec[0]
+        return [(name, n_cores, strategy) for n_cores, strategy in spec[1]]
+
+    def _fail_spec(self, spec: Tuple, reason: str) -> None:
+        for cell in self._spec_cells(spec):
+            self._note_failed(cell, reason)
 
     def _pool_round(self, specs: List[Tuple]) -> List[Tuple]:
         """One pool pass over ``specs``.  Returns the specs that blew
-        their deadline (for the caller to retry).  A broken pool sends
-        every unfinished spec straight to the serial fallback -- the pool
-        machinery itself is no longer trusted this round."""
+        their deadline or lost their heartbeat (for the caller to
+        retry).  A broken pool sends every unfinished spec straight to
+        the serial fallback -- the pool machinery itself is no longer
+        trusted this round."""
         pool = ProcessPoolExecutor(max_workers=self.jobs)
         started = time.monotonic()
+        supervising = self.heartbeat_timeout is not None
         futures = {}
         deadlines = {}
-        for spec in specs:
-            future = pool.submit(self._worker_fn, spec)
+        timed_out: List[Tuple] = []
+        broken = False
+        unsubmitted: List[Tuple] = []
+        for index, spec in enumerate(specs):
+            if supervising and self._hb_dir is not None:
+                # A beat left over from an earlier round must not read
+                # as instantly stale for this round's worker.
+                try:
+                    _heartbeat_path(self._hb_dir, spec[0]).unlink()
+                except OSError:
+                    pass
+            try:
+                future = pool.submit(self._worker_fn, spec)
+            except BrokenProcessPool:
+                # A worker died while the round was still being fed (an
+                # instant crash can poison the pool between submits);
+                # nothing more can be submitted this round.
+                broken = True
+                self.failures.worker_crashes += 1
+                unsubmitted = specs[index:]
+                break
             futures[future] = spec
+            for cell in self._spec_cells(spec):
+                self._note_dispatched(cell, self._journal_key(cell), mode="pool")
             if self.cell_timeout is not None:
                 deadlines[future] = started + self.cell_timeout * max(
                     1, len(spec[1])
                 )
-        timed_out: List[Tuple] = []
-        broken = False
+        if broken:
+            for spec in list(futures.values()) + unsubmitted:
+                self._fail_spec(spec, "pool-broken")
+                self._serial_fallback(spec)
+            futures.clear()
         try:
             while futures:
                 budget = None
@@ -492,9 +763,36 @@ class ExperimentRunner:
                             deadlines[f] for f in futures if f in deadlines
                         ) - time.monotonic(),
                     )
+                if supervising:
+                    # Wake often enough to notice a silenced heartbeat
+                    # long before any cell deadline would.
+                    poll = max(0.05, self.heartbeat_timeout / 4.0)
+                    budget = poll if budget is None else min(budget, poll)
                 done, _ = wait(
                     set(futures), timeout=budget, return_when=FIRST_COMPLETED
                 )
+                if supervising:
+                    # Supervisor pass: a task that has beaten at least
+                    # once but has now been silent past the heartbeat
+                    # deadline is declared hung/killed and abandoned for
+                    # this round (cancel() cannot interrupt it).
+                    now_wall = time.time()
+                    for future in list(futures):
+                        if future in done:
+                            continue
+                        spec = futures[future]
+                        beat = _read_heartbeat(
+                            _heartbeat_path(self._hb_dir, spec[0])
+                        )
+                        if (
+                            beat is not None
+                            and now_wall - beat > self.heartbeat_timeout
+                        ):
+                            futures.pop(future)
+                            future.cancel()
+                            timed_out.append(spec)
+                            self.failures.timed_out.append(spec[0])
+                            self._fail_spec(spec, "heartbeat-lost")
                 if not done:
                     # Deadline expiry.  cancel() cannot interrupt a running
                     # worker process, so the task is abandoned: its future
@@ -506,8 +804,11 @@ class ExperimentRunner:
                             future.cancel()
                             timed_out.append(spec)
                             self.failures.timed_out.append(spec[0])
+                            self._fail_spec(spec, "timeout")
                     continue
                 for future in done:
+                    if future not in futures:
+                        continue  # reaped by the supervisor this wake
                     spec = futures.pop(future)
                     try:
                         payloads = future.result()
@@ -516,8 +817,10 @@ class ExperimentRunner:
                         # os._exit); every sibling future is now poisoned.
                         broken = True
                         self.failures.worker_crashes += 1
+                        self._fail_spec(spec, "worker-crashed")
                         self._serial_fallback(spec)
                         for other_spec in futures.values():
+                            self._fail_spec(other_spec, "pool-broken")
                             self._serial_fallback(other_spec)
                         futures.clear()
                         break
@@ -529,19 +832,17 @@ class ExperimentRunner:
     def _absorb(self, spec: Tuple, payloads: List[Dict[str, object]]) -> None:
         name = spec[0]
         for (n_cores, strategy), payload in zip(spec[1], payloads):
-            self._runs[(name, n_cores, strategy)] = RunResult.from_dict(
-                payload
-            )
+            cell = (name, n_cores, strategy)
+            self._runs[cell] = RunResult.from_dict(payload)
+            # The worker stored the result durably before returning it
+            # (same content-hash key), so completion is safe to journal.
+            self._note_completed(cell, self._journal_key(cell), source="worker")
 
     def _serial_fallback(self, spec: Tuple) -> None:
         """Run one spec's cells in-process after pool trouble (re-probing
         the cache first -- the worker may have finished some cells)."""
-        name = spec[0]
-        for cell in self._resolve_cached(
-            [(name, n_cores, strategy) for n_cores, strategy in spec[1]]
-        ):
-            self.failures.degraded.append(_cell_label(*cell))
-            self._run_uncached(cell)
+        for cell in self._resolve_cached(self._spec_cells(spec)):
+            self._run_degraded(cell)
 
     def baseline(self, name: str) -> RunResult:
         return self.run(name, 1, "baseline")

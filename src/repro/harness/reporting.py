@@ -80,7 +80,34 @@ def render_failure_line(runner) -> str:
             f"{len(failures.degraded)} cell(s) re-run serially "
             f"[{', '.join(failures.degraded)}]"
         )
+    if failures.abandoned:
+        parts.append(
+            f"{len(failures.abandoned)} cell(s) abandoned "
+            f"[{', '.join(failures.abandoned)}]"
+        )
+    max_attempts = failures.max_attempts()
+    if max_attempts > 1:
+        worst = sum(1 for count in failures.attempts.values() if count > 1)
+        parts.append(
+            f"up to {max_attempts} attempt(s) over {worst} cell(s)"
+        )
     return "failures  : " + "; ".join(parts)
+
+
+def render_journal_line(runner) -> str:
+    """The resumability line (empty without a journal): the replay
+    bookkeeping -- how many cells were replayed straight from the
+    journal+cache, re-run after incomplete history, or abandoned -- and
+    where the journal lives, so the resume command is obvious."""
+    journal = getattr(runner, "journal", None)
+    stats = getattr(runner, "journal_stats", None)
+    if journal is None or stats is None:
+        return ""
+    return (
+        f"journal   : {stats['replayed']} replayed / "
+        f"{stats['rerun']} re-run / {stats['abandoned']} abandoned "
+        f"({journal.path})"
+    )
 
 
 def render_fault_line(runner) -> str:

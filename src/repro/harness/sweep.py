@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .experiments import ExperimentRunner, geomean
+from .journal import JournalReplay, RunJournal, flush_on_signals
 
 #: Artifact schema: bump the major on breaking layout changes.
 SWEEP_SCHEMA_VERSION = "1.0"
@@ -159,6 +160,9 @@ def run_sweep(
     cache_dir: Optional[Union[str, Path]] = None,
     jobs: int = 1,
     cell_timeout: Optional[float] = None,
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    heartbeat_timeout: Optional[float] = None,
 ) -> Dict[str, object]:
     """Execute the sweep and assemble the JSON-ready result document.
 
@@ -171,7 +175,16 @@ def run_sweep(
           "points": [SweepPoint...],             # every cell, aggregated
           "frontiers": {strategy: [point index...]},
           "cache": {"hits": ..., "misses": ...},
+          "journal": {...},                      # only when journaling
         }
+
+    With ``journal=`` every runner writes through one shared write-ahead
+    :class:`RunJournal` (content-hash keys disambiguate cells across
+    machine points), SIGTERM/SIGINT flush it before exit, and
+    ``resume=True`` replays an interrupted journal against the result
+    cache so only cells without a durable ``completed`` record are
+    re-dispatched -- the resumed document is identical to an
+    uninterrupted sweep's modulo the ``cache``/``journal`` tallies.
     """
     axes = spec.axes()
     override_combos = [
@@ -180,46 +193,68 @@ def run_sweep(
             *(axes[name] for name in _OVERRIDE_AXES)
         )
     ]
+    run_journal: Optional[RunJournal] = None
+    replay: Optional[JournalReplay] = None
+    if journal is not None:
+        journal_path = Path(journal)
+        if resume and journal_path.exists():
+            replay = JournalReplay.from_path(journal_path)
+        run_journal = RunJournal(
+            journal_path,
+            resume=resume and journal_path.exists(),
+            context={"driver": "sweep"},
+        )
     points: List[SweepPoint] = []
     cache_hits = cache_misses = 0
-    for overrides in override_combos:
-        runner = ExperimentRunner(
-            benchmarks=list(spec.workloads),
-            seed=seed,
-            max_cycles=max_cycles,
-            cache_dir=cache_dir,
-            jobs=jobs,
-            cell_timeout=cell_timeout,
-            config_overrides=overrides,
-        )
-        runner.prefetch(
-            [(name, 1, "baseline") for name in spec.workloads]
-            + [
-                (name, n_cores, strategy)
-                for name in spec.workloads
-                for n_cores in spec.cores
-                for strategy in spec.strategies
-            ]
-        )
-        for n_cores in spec.cores:
-            for strategy in spec.strategies:
-                point = SweepPoint(
-                    machine={"cores": n_cores, **overrides},
-                    strategy=strategy,
+    journal_stats = {"replayed": 0, "rerun": 0, "abandoned": 0}
+    try:
+        with flush_on_signals(run_journal):
+            for overrides in override_combos:
+                runner = ExperimentRunner(
+                    benchmarks=list(spec.workloads),
+                    seed=seed,
+                    max_cycles=max_cycles,
+                    cache_dir=cache_dir,
+                    jobs=jobs,
+                    cell_timeout=cell_timeout,
+                    config_overrides=overrides,
+                    journal=run_journal,
+                    replay=replay,
+                    heartbeat_timeout=heartbeat_timeout,
                 )
-                for name in spec.workloads:
-                    result = runner.run(name, n_cores, strategy)
-                    point.cycles[name] = result.cycles
-                    point.speedups[name] = (
-                        runner.baseline(name).cycles / result.cycles
-                    )
-                point.geomean_speedup = geomean(
-                    list(point.speedups.values())
+                runner.prefetch(
+                    [(name, 1, "baseline") for name in spec.workloads]
+                    + [
+                        (name, n_cores, strategy)
+                        for name in spec.workloads
+                        for n_cores in spec.cores
+                        for strategy in spec.strategies
+                    ]
                 )
-                points.append(point)
-        if runner.cache is not None:
-            cache_hits += runner.cache.hits
-            cache_misses += runner.cache.misses
+                for n_cores in spec.cores:
+                    for strategy in spec.strategies:
+                        point = SweepPoint(
+                            machine={"cores": n_cores, **overrides},
+                            strategy=strategy,
+                        )
+                        for name in spec.workloads:
+                            result = runner.run(name, n_cores, strategy)
+                            point.cycles[name] = result.cycles
+                            point.speedups[name] = (
+                                runner.baseline(name).cycles / result.cycles
+                            )
+                        point.geomean_speedup = geomean(
+                            list(point.speedups.values())
+                        )
+                        points.append(point)
+                if runner.cache is not None:
+                    cache_hits += runner.cache.hits
+                    cache_misses += runner.cache.misses
+                for stat, value in runner.journal_stats.items():
+                    journal_stats[stat] += value
+    finally:
+        if run_journal is not None:
+            run_journal.close()
     frontiers = {
         strategy: [
             by_strategy[local]
@@ -229,7 +264,7 @@ def run_sweep(
         ]
         for strategy, by_strategy in _indices_by_strategy(points).items()
     }
-    return {
+    document = {
         "schema_version": SWEEP_SCHEMA_VERSION,
         "spec": {
             "workloads": list(spec.workloads),
@@ -241,6 +276,13 @@ def run_sweep(
         "frontiers": frontiers,
         "cache": {"hits": cache_hits, "misses": cache_misses},
     }
+    if run_journal is not None:
+        document["journal"] = {
+            "path": str(run_journal.path),
+            "resumed": bool(replay is not None),
+            **journal_stats,
+        }
+    return document
 
 
 def _indices_by_strategy(points: Sequence[SweepPoint]) -> Dict[str, List[int]]:

@@ -19,13 +19,21 @@ Seeding mirrors the chaos suite's ``CHAOS_SEED`` contract:
   same default, the nightly-style fuzz job raises it).
 * ``GEN_REPRO_DIR`` -- where minimized repros land (default
   ``.fuzz-repros/``).
+* ``GEN_JOURNAL`` -- optional write-ahead journal path making the
+  campaign resumable: each seed's oracle verdict is recorded
+  (planned/completed/failed) through :class:`repro.harness.RunJournal`,
+  and a re-run with the same ``GEN_JOURNAL`` skips every seed whose
+  ``completed`` record is already durable -- a killed fuzz job picks up
+  where it left off instead of re-fuzzing from seed one.
 """
 
+import atexit
 import os
 
 import pytest
 
 from repro.analysis import check_benchmark
+from repro.harness.journal import JournalReplay, RunJournal
 from repro.workloads.generator import (
     GenKnobs,
     build_recipe,
@@ -38,6 +46,24 @@ from repro.workloads.shrink import shrink_recipe, write_repro
 GEN_SEED = int(os.environ.get("GEN_SEED", "1"))
 GEN_COUNT = int(os.environ.get("GEN_COUNT", "200"))
 GEN_REPRO_DIR = os.environ.get("GEN_REPRO_DIR", ".fuzz-repros")
+GEN_JOURNAL = os.environ.get("GEN_JOURNAL")
+
+#: Campaign journal + replay of any prior interrupted campaign, armed
+#: only under GEN_JOURNAL.  The journal key is the workload handle
+#: (gen:<seed>:<knobs-hash>): it fingerprints seed *and* knobs, so a
+#: knob change never lets a stale ``completed`` record skip a seed.
+_JOURNAL = None
+_REPLAY = None
+if GEN_JOURNAL:
+    if os.path.exists(GEN_JOURNAL):
+        _REPLAY = JournalReplay.from_path(GEN_JOURNAL)
+    _JOURNAL = RunJournal(
+        GEN_JOURNAL,
+        resume=os.path.exists(GEN_JOURNAL),
+        context={"driver": "fuzz", "gen_seed": GEN_SEED,
+                 "gen_count": GEN_COUNT},
+    )
+    atexit.register(_JOURNAL.close)
 
 #: Fuzz knobs: the default design-space axes with trip counts trimmed so
 #: one program's oracle pass stays under ~100 ms -- coverage comes from
@@ -54,8 +80,22 @@ def _recipe_oracle(recipe):
 
 @pytest.mark.parametrize("seed", range(GEN_SEED, GEN_SEED + GEN_COUNT))
 def test_generated_program_passes_full_oracle(seed):
+    handle = make_handle(seed, FUZZ_KNOBS)
+    cell = (handle, 0, "oracle")
+    if _REPLAY is not None and _REPLAY.is_completed(handle):
+        pytest.skip(f"{handle}: journaled complete in {GEN_JOURNAL}")
+    if _JOURNAL is not None:
+        _JOURNAL.planned(cell, handle)
+        _JOURNAL.dispatched(cell, handle, attempt=1, mode="fuzz")
     bench = generate(seed, FUZZ_KNOBS)
     verdict = check_benchmark(bench)
+    if _JOURNAL is not None:
+        if verdict.ok:
+            _JOURNAL.completed(cell, handle, source="fuzz", attempt=1)
+        else:
+            _JOURNAL.failed(
+                cell, handle, reason=verdict.describe(), attempt=1
+            )
     if not verdict.ok:
         # A real find: minimize it and persist the repro before failing.
         result = shrink_recipe(bench.recipe, _recipe_oracle)
