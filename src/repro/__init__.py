@@ -39,6 +39,7 @@ _API_EXPORTS = (
     "compile_benchmark",
     "generate_workload",
     "list_benchmarks",
+    "list_presets",
     "run_cell",
     "run_figure",
     "session",

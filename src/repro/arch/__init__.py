@@ -7,10 +7,15 @@ from .mesh import DIRECTIONS, Mesh, opposite
 from .config import (
     CacheConfig,
     MachineConfig,
+    MachineSpec,
     NetworkConfig,
     apply_overrides,
     four_core,
+    list_presets,
+    machine_overrides,
     mesh,
+    preset,
+    resolve_machine,
     single_core,
     two_core,
 )
@@ -18,10 +23,15 @@ from .config import (
 __all__ = [
     "CacheConfig",
     "MachineConfig",
+    "MachineSpec",
     "NetworkConfig",
     "apply_overrides",
     "four_core",
+    "list_presets",
+    "machine_overrides",
     "mesh",
+    "preset",
+    "resolve_machine",
     "single_core",
     "two_core",
     "DIRECTIONS",

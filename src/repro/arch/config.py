@@ -9,7 +9,7 @@ direct-mode network latency of 1 cycle/hop, queue-mode latency of
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -39,6 +39,23 @@ class NetworkConfig:
     queue_cycles_per_hop: int = 1
     queue_exit_cycles: int = 1  # read from the receive queue
     queue_depth: int = 16
+    #: Receive-queue organization.  ``pair`` is the paper's machine: one
+    #: private FIFO per (src, dst) pair, each ``queue_depth`` deep --
+    #: storage grows quadratically with the mesh.  ``vlink`` models a
+    #: Virtual-Link-style multi-producer queue: every receiver owns one
+    #: ``queue_depth``-entry pool shared by all senders, plus one
+    #: reserved slot per producer so an arbitrary consumption order can
+    #: never deadlock a producer out of the pool.
+    queue_policy: str = "pair"
+
+    def __post_init__(self) -> None:
+        if self.queue_policy not in ("pair", "vlink"):
+            raise ValueError(
+                f"unknown queue_policy {self.queue_policy!r}; "
+                "expected 'pair' or 'vlink'"
+            )
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
 
     def queue_latency(self, hops: int) -> int:
         """End-to-end queue-mode latency: 2 + hops for adjacent cores."""
@@ -70,6 +87,20 @@ class MachineConfig:
     coupled_group_size: int = 4  # stall bus reaches at most 4 cores (Sec. 3.2)
     tm_commit_latency: int = 4  # low-cost TM commit check
     i_fetch_words_per_op: int = 1
+    #: Cache-coherence organization.  ``snoop`` is the paper's bus-snooping
+    #: MOESI; ``directory`` tracks sharers/owner in an explicit directory
+    #: so the protocol scales past a handful of cores.  Timing-only: the
+    #: two protocols are architecturally equivalent and must produce
+    #: bit-identical final memory.
+    coherence: str = "snoop"
+    #: Cycles per directory lookup/update on an L1 miss or upgrade
+    #: (charged instead of the free broadcast snoop).
+    directory_latency: int = 2
+    #: Extra cycles a cross-cluster stall costs in clustered coupled
+    #: mode: within a 4-core cluster the 1-bit stall bus is free, but
+    #: propagating a stall through the cluster-level network above it
+    #: is not.  Charged once per stall episode per blocked core.
+    cluster_stall_latency: int = 2
 
     def __post_init__(self) -> None:
         rows, cols = self.mesh_shape
@@ -79,6 +110,17 @@ class MachineConfig:
             )
         if self.n_cores < 1:
             raise ValueError("need at least one core")
+        if self.coherence not in ("snoop", "directory"):
+            raise ValueError(
+                f"unknown coherence {self.coherence!r}; "
+                "expected 'snoop' or 'directory'"
+            )
+        if self.directory_latency < 0:
+            raise ValueError("directory_latency cannot be negative")
+        if self.cluster_stall_latency < 0:
+            raise ValueError("cluster_stall_latency cannot be negative")
+        if self.coupled_group_size < 1:
+            raise ValueError("coupled_group_size must be at least 1")
 
 
 def single_core() -> MachineConfig:
@@ -141,14 +183,130 @@ def apply_overrides(
 
 
 def mesh(n_cores: int) -> MachineConfig:
-    """A machine with ``n_cores`` arranged in the most square *exact*
-    rectangle (every grid position holds a core, keeping XY routing
-    complete)."""
+    """A machine with ``n_cores`` on the smallest near-square mesh.
+
+    Composite counts get their most square *exact* rectangle.  Counts
+    with no square-ish factorization (primes, 2*prime, ...) would
+    degenerate to a 1xN chain with worst-case hop latency, so they get
+    the smallest enclosing near-square rectangle instead: cores fill
+    row-major and the unoccupied tail positions are holes the router
+    detours around (XY falls back to YX, which always works because
+    holes only ever occupy the end of the last row).
+    """
     presets = {1: single_core, 2: two_core, 4: four_core}
     if n_cores in presets:
         return presets[n_cores]()
-    rows = 1
-    for candidate in range(1, int(n_cores**0.5) + 1):
-        if n_cores % candidate == 0:
-            rows = candidate
-    return MachineConfig(n_cores=n_cores, mesh_shape=(rows, n_cores // rows))
+    if n_cores < 1:
+        raise ValueError("need at least one core")
+    root = int(n_cores**0.5)
+    best: Optional[Tuple[Tuple[int, int, int], Tuple[int, int]]] = None
+    for rows in range(max(1, root - 1), root + 2):
+        cols = -(-n_cores // rows)  # ceil division
+        # Rank by mesh diameter, then fewest holes, then the repo's
+        # wider-than-tall convention (2x3, not 3x2).
+        key = (rows + cols, rows * cols - n_cores, rows)
+        if best is None or key < best[0]:
+            best = (key, (rows, cols))
+    assert best is not None
+    return MachineConfig(n_cores=n_cores, mesh_shape=best[1])
+
+
+#: Named machine presets: the paper's three shapes plus the scaled
+#: meshes this repo adds beyond the paper's grid.  Each base name also
+#: exists in ``-snoop`` / ``-directory`` coherence variants (the bare
+#: name is the snoop default).
+_BASE_PRESETS: Dict[str, Callable[[], MachineConfig]] = {
+    "single": single_core,
+    "two": two_core,
+    "four": four_core,
+    "mesh16": lambda: mesh(16),
+    "mesh32": lambda: mesh(32),
+    "mesh64": lambda: mesh(64),
+}
+
+_COHERENCE_VARIANTS = ("snoop", "directory")
+
+
+def list_presets() -> List[str]:
+    """Every accepted preset name, base names first."""
+    names = list(_BASE_PRESETS)
+    for base in _BASE_PRESETS:
+        names.extend(f"{base}-{variant}" for variant in _COHERENCE_VARIANTS)
+    return names
+
+
+def preset(name: str) -> MachineConfig:
+    """Look up a named machine preset (see :func:`list_presets`).
+
+    ``"<base>"`` is the snoop-coherence machine; ``"<base>-directory"``
+    and ``"<base>-snoop"`` pin the coherence protocol explicitly.
+    """
+    base, dash, variant = name.partition("-")
+    factory = _BASE_PRESETS.get(base)
+    if factory is None or (dash and variant not in _COHERENCE_VARIANTS):
+        raise KeyError(
+            f"unknown machine preset {name!r}; "
+            f"expected one of: {', '.join(list_presets())}"
+        )
+    config = factory()
+    if dash:
+        config = replace(config, coherence=variant)
+    return config
+
+
+MachineSpec = Union[int, str, MachineConfig]
+
+
+def resolve_machine(machine: MachineSpec) -> MachineConfig:
+    """Normalize any machine spelling to a :class:`MachineConfig`.
+
+    Accepts a core count (the standard mesh preset for that count), a
+    preset name from :func:`list_presets`, or a full config (returned
+    as-is).  This is the single entry point behind every ``machine=``
+    API parameter.
+    """
+    if isinstance(machine, MachineConfig):
+        return machine
+    if isinstance(machine, bool):
+        raise TypeError(f"machine spec cannot be a bool: {machine!r}")
+    if isinstance(machine, int):
+        return mesh(machine)
+    if isinstance(machine, str):
+        try:
+            return preset(machine)
+        except KeyError as error:
+            raise ValueError(str(error)) from None
+    raise TypeError(
+        "machine must be an int core count, a preset name, or a "
+        f"MachineConfig, not {type(machine).__name__}"
+    )
+
+
+def machine_overrides(
+    config: MachineConfig, *, include_shape: bool = True
+) -> Dict[str, object]:
+    """Flat override mapping reducing ``config`` to (n_cores, diffs).
+
+    The diffs are relative to the standard :func:`mesh` preset for the
+    config's core count, in exactly the shape :func:`apply_overrides`
+    accepts -- so any machine spec can ride the existing
+    ``config_overrides`` plumbing (runners, workers, cache keys).  With
+    ``include_shape=False`` the mesh shape is left to the per-core-count
+    default, for drivers that re-derive machines at several core counts
+    (figure grids) from one override set.
+    """
+    base = mesh(config.n_cores)
+    overrides: Dict[str, object] = {}
+    for spec in fields(MachineConfig):
+        if spec.name in ("n_cores", "network"):
+            continue
+        if not include_shape and spec.name == "mesh_shape":
+            continue
+        value = getattr(config, spec.name)
+        if value != getattr(base, spec.name):
+            overrides[spec.name] = value
+    for spec in fields(NetworkConfig):
+        value = getattr(config.network, spec.name)
+        if value != getattr(base.network, spec.name):
+            overrides[spec.name] = value
+    return overrides

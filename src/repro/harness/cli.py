@@ -1,24 +1,36 @@
 """Command-line interface to the reproduction.
 
     python -m repro.harness.cli list --generated 3
-    python -m repro.harness.cli run --benchmark gsmdecode --cores 4 \
+    python -m repro.harness.cli run --benchmark gsmdecode --machine 4 \
         --strategy hybrid
-    python -m repro.harness.cli run --benchmark gen:7 --cores 4
+    python -m repro.harness.cli run --benchmark gen:7 --machine mesh16
+    python -m repro.harness.cli run --benchmark epic \
+        --machine mesh32-directory --strategy llp
     python -m repro.harness.cli figure --figure 10 --jobs 4
     python -m repro.harness.cli figure --figure 13 --benchmarks gsmdecode epic
+    python -m repro.harness.cli figure --figure scaling --machine 16
     python -m repro.harness.cli verify --report findings.json
-    python -m repro.harness.cli sweep --generated 4 --cores 2 4 \
-        --queue-depths 4 16 --hop-latencies 1 4 --out sweep.json
+    python -m repro.harness.cli verify --machine mesh16-directory --dynamic
+    python -m repro.harness.cli sweep --generated 4 --machines 2 4 mesh16 \
+        --coherences snoop directory --queue-depths 4 16 --out sweep.json
 
 Every ``--benchmark``/``--benchmarks``/``--workloads`` slot accepts
 generated-workload handles (``gen:<seed>[:<knobs-hash>]``, see
 :mod:`repro.workloads.generator`) interchangeably with suite names.
 
-``sweep`` crosses machine-design axes (mesh size, operand-queue depth,
-queue-mode hop latency, memory latency, TM commit budget) against the
-selected workloads through the cached parallel runner and writes the
-per-strategy Pareto frontiers -- resource-aware dominance over the
-swept axes -- as one JSON artifact.
+``--machine SPEC`` is the canonical machine spelling everywhere: an
+integer core count (any size -- primes get a near-square mesh with
+holes) or a preset name from ``repro.list_presets()`` such as
+``four``, ``mesh16``, or ``mesh32-directory``.  The older ``--cores``
+flags remain as aliases where they existed.
+
+``sweep`` crosses machine-design axes (mesh size, coherence protocol,
+operand-queue policy and depth, queue-mode hop latency, memory latency,
+TM commit budget) against the selected workloads through the cached
+parallel runner and writes the per-strategy Pareto frontiers --
+resource-aware dominance over the swept axes, with categorical axes
+(coherence, queue policy) keeping per-category frontiers -- as one JSON
+artifact.
 
 Simulation results are cached on disk (``.repro-cache/`` by default, keyed
 by a content hash of program + config + seed) so a repeated figure run is
@@ -69,6 +81,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from .. import api
+from ..arch.config import MachineConfig, resolve_machine
 from ..sim.faults import FAULT_PROFILES, FaultConfig
 from ..sim.stats import STALL_CATEGORIES
 from ..workloads.generator import generate_handles, is_generated, parse_handle
@@ -85,9 +98,46 @@ from .reporting import (
     render_table,
 )
 
-FIGURES = ("3", "7-9", "10", "11", "12", "13", "14")
+FIGURES = api.FIGURES
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _machine_spec(value: str):
+    """argparse type for --machine: an int core count or a preset name."""
+    try:
+        return int(value)
+    except ValueError:
+        return value
+
+
+def _add_machine_option(subparser: argparse.ArgumentParser, help_tail="") -> None:
+    subparser.add_argument(
+        "--machine",
+        type=_machine_spec,
+        default=None,
+        metavar="SPEC",
+        help="machine spec: a core count (any size) or a preset name "
+        "from repro.list_presets(), e.g. mesh16 or mesh32-directory"
+        + help_tail,
+    )
+
+
+def _resolve_machine_flag(args, out) -> Optional[MachineConfig]:
+    """Resolve --machine/--cores to a MachineConfig, or None on error
+    (already reported).  --cores stays as a legacy alias; passing both
+    is an error."""
+    machine = getattr(args, "machine", None)
+    cores = getattr(args, "cores", None)
+    if machine is not None and cores is not None:
+        print("pass either --machine or --cores, not both", file=out)
+        return None
+    spec = machine if machine is not None else (cores or 4)
+    try:
+        return resolve_machine(spec)
+    except (TypeError, ValueError) as error:
+        print(f"bad --machine spec: {error}", file=out)
+        return None
 
 
 def _add_runner_options(subparser: argparse.ArgumentParser) -> None:
@@ -175,7 +225,7 @@ def _add_runner_options(subparser: argparse.ArgumentParser) -> None:
     )
 
 
-def _make_runner(args, benchmarks):
+def _make_runner(args, benchmarks, machine=None):
     faults = None
     if args.faults:
         faults = FaultConfig(
@@ -185,6 +235,7 @@ def _make_runner(args, benchmarks):
         )
     return api.session(
         benchmarks,
+        machine=machine,
         cache_dir=None if args.no_cache else args.cache_dir,
         jobs=args.jobs,
         cell_timeout=args.cell_timeout,
@@ -232,7 +283,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="a suite benchmark or a generated handle "
         "(gen:<seed>[:<knobs-hash>])",
     )
-    run.add_argument("--cores", type=int, default=4, choices=(1, 2, 4))
+    _add_machine_option(run, help_tail=" (default: 4 cores)")
+    run.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        metavar="N",
+        help="legacy alias for --machine N",
+    )
     run.add_argument(
         "--strategy",
         default="hybrid",
@@ -272,17 +330,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to a subset of names or generated handles "
         "(default: all 25)",
     )
+    _add_machine_option(
+        figure,
+        help_tail="; overrides the figure's core count where it has one "
+        "and applies the spec's machine knobs to every cell",
+    )
     _add_runner_options(figure)
 
     sweep = sub.add_parser(
         "sweep",
         help="sweep machine configs x workloads; Pareto frontiers as JSON",
-        description="Cross machine-design axes (mesh size, operand-queue "
-        "depth, queue-mode hop latency, memory latency, TM commit budget) "
-        "against named and/or generated workloads through the cached "
-        "parallel runner, and report per-strategy Pareto frontiers "
-        "(resource-aware dominance: at least the speedup on hardware no "
-        "more expensive in any axis).",
+        description="Cross machine-design axes (mesh size, coherence "
+        "protocol, operand-queue policy and depth, queue-mode hop "
+        "latency, memory latency, TM commit budget) against named and/or "
+        "generated workloads through the cached parallel runner, and "
+        "report per-strategy Pareto frontiers (resource-aware dominance: "
+        "at least the speedup on hardware no more expensive in any axis; "
+        "categorical axes keep per-category frontiers).",
     )
     sweep.add_argument(
         "--workloads",
@@ -312,11 +376,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="strategies to frontier (default: all four)",
     )
     sweep.add_argument(
+        "--machines",
+        nargs="*",
+        type=_machine_spec,
+        default=None,
+        metavar="SPEC",
+        help="machine specs spanning the mesh-size axis: core counts "
+        "and/or preset names (default 2 4); coherence-variant presets "
+        "seed the coherence axis unless --coherences pins it",
+    )
+    sweep.add_argument(
         "--cores",
         nargs="*",
         type=int,
-        default=(2, 4),
-        help="mesh sizes to sweep (default 2 4)",
+        default=None,
+        metavar="N",
+        help="legacy alias for --machines",
+    )
+    sweep.add_argument(
+        "--coherences",
+        nargs="*",
+        default=None,
+        choices=("snoop", "directory"),
+        help="coherence protocols to sweep (default: those named by "
+        "--machines entries, i.e. snoop unless a -directory preset "
+        "appears)",
+    )
+    sweep.add_argument(
+        "--queue-policies",
+        nargs="*",
+        default=("pair",),
+        choices=("pair", "vlink"),
+        help="operand-queue policies to sweep: per-pair reserved queues "
+        "or Virtual-Link shared receiver pools (default pair)",
     )
     sweep.add_argument(
         "--queue-depths",
@@ -372,13 +464,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="restrict to a subset (default: all 25)",
     )
+    _add_machine_option(
+        verify,
+        help_tail="; sets the core counts to verify (unless --cores "
+        "overrides them) and applies the spec's machine knobs "
+        "(coherence, queue policy, ...) to every cell",
+    )
     verify.add_argument(
         "--cores",
         nargs="*",
         type=int,
         default=None,
-        choices=(1, 2, 4),
-        help="restrict to these core counts (default: 1 2 4)",
+        metavar="N",
+        help="restrict to these core counts, any mesh size "
+        "(default: the paper grid 1 2 4, or --machine's count)",
     )
     verify.add_argument(
         "--strategies",
@@ -447,6 +546,9 @@ def _cmd_list(args, out) -> int:
 def _cmd_run(args, out) -> int:
     if not _check_workloads([args.benchmark], out):
         return 2
+    machine = _resolve_machine_flag(args, out)
+    if machine is None:
+        return 2
     obs = None
     if args.trace_out or args.metrics_out:
         from ..obs import Observability, ObsConfig
@@ -455,9 +557,9 @@ def _cmd_run(args, out) -> int:
         # Profiled runs always simulate fresh: a cached result would come
         # back without its cycle-accurate event record.
         args.no_cache = True
-    runner = _make_runner(args, [args.benchmark])
+    runner = _make_runner(args, [args.benchmark], machine=machine)
     runner.obs = obs
-    n_cores = args.cores
+    n_cores = machine.n_cores
     strategy = "baseline" if n_cores == 1 else args.strategy
     try:
         with flush_on_signals(runner.journal):
@@ -467,7 +569,12 @@ def _cmd_run(args, out) -> int:
         runner.close_journal()
     stats = result.stats
     print(f"benchmark : {args.benchmark}", file=out)
-    print(f"machine   : {n_cores} core(s), strategy {strategy}", file=out)
+    machine_line = f"{n_cores} core(s), strategy {strategy}"
+    if machine.coherence != "snoop":
+        machine_line += f", {machine.coherence} coherence"
+    if machine.network.queue_policy != "pair":
+        machine_line += f", {machine.network.queue_policy} queues"
+    print(f"machine   : {machine_line}", file=out)
     print(f"cycles    : {stats.cycles} (baseline {base.cycles}, "
           f"speedup {base.cycles / stats.cycles:.2f}x)", file=out)
     print(f"mode time : {stats.mode_fraction('coupled'):.0%} coupled / "
@@ -523,22 +630,32 @@ def _cmd_sweep(args, out) -> int:
         return 2
     if not _check_workloads(workloads, out):
         return 2
-    document = api.sweep(
-        workloads,
-        strategies=args.strategies,
-        cores=args.cores,
-        queue_depths=args.queue_depths,
-        queue_cycles_per_hop=args.hop_latencies,
-        memory_latencies=args.memory_latencies,
-        tm_commit_latencies=args.tm_commit_latencies,
-        cache_dir=None if args.no_cache else args.cache_dir,
-        jobs=args.jobs,
-        cell_timeout=args.cell_timeout,
-        journal=args.resume or args.journal,
-        resume=bool(args.resume),
-        heartbeat_timeout=args.heartbeat_timeout,
-        out=args.out,
-    )
+    if args.machines is not None and args.cores is not None:
+        print("pass either --machines or --cores, not both", file=out)
+        return 2
+    machines = args.machines if args.machines is not None else args.cores
+    try:
+        document = api.sweep(
+            workloads,
+            strategies=args.strategies,
+            machines=machines,
+            coherences=args.coherences,
+            queue_policies=args.queue_policies,
+            queue_depths=args.queue_depths,
+            queue_cycles_per_hop=args.hop_latencies,
+            memory_latencies=args.memory_latencies,
+            tm_commit_latencies=args.tm_commit_latencies,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            jobs=args.jobs,
+            cell_timeout=args.cell_timeout,
+            journal=args.resume or args.journal,
+            resume=bool(args.resume),
+            heartbeat_timeout=args.heartbeat_timeout,
+            out=args.out,
+        )
+    except ValueError as error:
+        print(f"bad sweep spec: {error}", file=out)
+        return 2
     print(render_frontiers(document), file=out)
     cache = document["cache"]
     if args.no_cache:
@@ -565,10 +682,22 @@ def _cmd_sweep(args, out) -> int:
 def _cmd_figure(args, out) -> int:
     if args.benchmarks and not _check_workloads(args.benchmarks, out):
         return 2
-    runner = _make_runner(args, args.benchmarks)
+    machine = None
+    if args.machine is not None:
+        try:
+            machine = resolve_machine(args.machine)
+        except (TypeError, ValueError) as error:
+            print(f"bad --machine spec: {error}", file=out)
+            return 2
+    runner = _make_runner(args, args.benchmarks, machine=machine)
     try:
         with flush_on_signals(runner.journal):
-            _render_figure(runner, args.figure, out)
+            _render_figure(
+                runner,
+                args.figure,
+                out,
+                machine.n_cores if machine is not None else None,
+            )
     finally:
         runner.close_journal()
     print(render_cache_line(runner), file=out)
@@ -585,12 +714,12 @@ def _cmd_figure(args, out) -> int:
     return 0
 
 
-def _render_figure(runner, figure, out) -> None:
+def _render_figure(runner, figure, out, n=None) -> None:
     if figure == "3":
         print(
             render_bar_breakdown(
-                "Figure 3: parallelism breakdown (4 cores)",
-                runner.fig3_breakdown(),
+                f"Figure 3: parallelism breakdown ({n or 4} cores)",
+                runner.fig3_breakdown(n or 4),
                 columns=("ilp", "tlp", "llp", "single"),
             ),
             file=out,
@@ -609,7 +738,7 @@ def _render_figure(runner, figure, out) -> None:
             file=out,
         )
     elif figure == "12":
-        table = runner.fig12_stalls()
+        table = runner.fig12_stalls(n)
         flat = {
             f"{name} [{mode[:3]}]": row[mode]
             for name, row in table.items()
@@ -617,7 +746,7 @@ def _render_figure(runner, figure, out) -> None:
         }
         print(
             render_table(
-                "Figure 12: stalls / serial time (4 cores)",
+                f"Figure 12: stalls / serial time ({n or 4} cores)",
                 flat,
                 columns=("istall", "dstall", "recv_data", "recv_pred",
                          "call_sync"),
@@ -627,33 +756,57 @@ def _render_figure(runner, figure, out) -> None:
             file=out,
         )
     elif figure == "13":
-        hybrid = runner.fig13_hybrid()
+        counts = (n,) if n is not None else (2, 4)
+        hybrid = runner.fig13_hybrid(counts)
         print(
             render_table(
                 "Figure 13: hybrid speedups",
-                {k: {"2core": v[2], "4core": v[4]} for k, v in hybrid.items()},
-                columns=("2core", "4core"),
+                {
+                    name: {f"{c}core": row[c] for c in counts}
+                    for name, row in hybrid.items()
+                },
+                columns=tuple(f"{c}core" for c in counts),
             ),
             file=out,
         )
+    elif figure == "scaling":
+        counts = (n,) if n is not None else (4, 16, 32)
+        table = runner.fig_scaling(counts)
+        strategies = SINGLE_STRATEGIES + ("hybrid",)
+        for count in counts:
+            print(
+                render_table(
+                    f"Scaling: {count}-core speedups per strategy",
+                    {name: row[count] for name, row in table.items()},
+                    columns=strategies,
+                ),
+                file=out,
+            )
     elif figure == "14":
         print(
             render_bar_breakdown(
-                "Figure 14: time per execution mode (hybrid, 4 cores)",
-                runner.fig14_mode_time(),
+                f"Figure 14: time per execution mode (hybrid, {n or 4} "
+                "cores)",
+                runner.fig14_mode_time(n),
                 columns=("coupled", "decoupled"),
             ),
             file=out,
         )
 
 
-def _verify_grid(args) -> List[tuple]:
-    """(cores, strategy) cells to verify: the paper grid by default."""
-    if args.cores is None and args.strategies is None:
+def _verify_grid(args, machine=None) -> List[tuple]:
+    """(cores, strategy) cells to verify: the paper grid by default, or
+    --machine's core count, or an explicit --cores list (any mesh size)."""
+    if machine is None and args.cores is None and args.strategies is None:
         return [(1, "baseline")] + [
             (n, s) for n in (2, 4) for s in ("ilp", "tlp", "llp")
         ]
-    cores_list = args.cores or [1, 2, 4]
+    if args.cores is not None:
+        cores_list = args.cores
+    elif machine is not None:
+        cores_list = [machine.n_cores]
+    else:
+        cores_list = [1, 2, 4]
     strategies = args.strategies or ["baseline", "ilp", "tlp", "llp"]
     grid = []
     for n in cores_list:
@@ -667,14 +820,29 @@ def _verify_grid(args) -> List[tuple]:
 
 def _cmd_verify(args, out) -> int:
     from ..analysis import merge_reports, verify_compiled
-    from ..arch.config import mesh, single_core
+    from ..arch.config import (
+        apply_overrides,
+        machine_overrides,
+        mesh,
+        single_core,
+    )
     from ..compiler.driver import VoltronCompiler
     from ..workloads.suite import build
 
     names = list(args.benchmarks or BENCHMARKS)
     if not _check_workloads(names, out):
         return 2
-    grid = _verify_grid(args)
+    machine = None
+    if args.machine is not None:
+        try:
+            machine = resolve_machine(args.machine)
+        except (TypeError, ValueError) as error:
+            print(f"bad --machine spec: {error}", file=out)
+            return 2
+    overrides = (
+        machine_overrides(machine, include_shape=False) if machine else {}
+    )
+    grid = _verify_grid(args, machine)
     reports = []
     failed = 0
     for name in names:
@@ -684,6 +852,7 @@ def _cmd_verify(args, out) -> int:
         compiler = VoltronCompiler(bench.program)
         for cores, strategy in grid:
             config = single_core() if cores == 1 else mesh(cores)
+            config = apply_overrides(config, overrides)
             compiled = compiler.compile(strategy, config)
             report = verify_compiled(compiled, config, args.suppress)
             report.benchmark = name

@@ -922,16 +922,52 @@ class ExperimentRunner:
             table[name] = row
         return table
 
-    def fig13_hybrid(self) -> Dict[str, Dict[int, float]]:
-        """Figure 13: hybrid speedups on 2- and 4-core Voltron."""
+    def fig13_hybrid(
+        self, cores: Sequence[int] = (2, 4)
+    ) -> Dict[str, Dict[int, float]]:
+        """Figure 13: hybrid speedups on 2- and 4-core Voltron (or any
+        other set of core counts, e.g. ``(16, 32)`` for scaled meshes)."""
+        counts = tuple(cores)
         self.prefetch(
             [(name, 1, "baseline") for name in self.names]
-            + [(name, n, "hybrid") for name in self.names for n in (2, 4)]
+            + [(name, n, "hybrid") for name in self.names for n in counts]
         )
         return {
             name: {
                 n: self.speedup(name, n, "hybrid")
-                for n in (2, 4)
+                for n in counts
+            }
+            for name in self.names
+        }
+
+    def fig_scaling(
+        self, cores: Sequence[int] = (4, 16, 32)
+    ) -> Dict[str, Dict[int, Dict[str, float]]]:
+        """Beyond the paper's grid: per-benchmark speedup for every
+        strategy at each mesh size, ``{name: {cores: {strategy: x}}}``.
+
+        The paper stops at 4 cores; this cell exposes which strategies
+        keep scaling on 16/32-core meshes (statistical LLP regions with
+        wide DOALL loops) and which saturate (ILP limited by the
+        program's dependence height)."""
+        counts = tuple(cores)
+        strategies = SINGLE_STRATEGIES + ("hybrid",)
+        self.prefetch(
+            [(name, 1, "baseline") for name in self.names]
+            + [
+                (name, n, strategy)
+                for name in self.names
+                for n in counts
+                for strategy in strategies
+            ]
+        )
+        return {
+            name: {
+                n: {
+                    strategy: self.speedup(name, n, strategy)
+                    for strategy in strategies
+                }
+                for n in counts
             }
             for name in self.names
         }

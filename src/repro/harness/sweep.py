@@ -2,9 +2,10 @@
 
 The paper evaluates one machine shape per core count; this driver
 explores the surrounding hardware design space.  A :class:`SweepSpec`
-crosses up to five machine axes -- mesh size (core count), operand-queue
-depth, queue-mode hop latency, memory latency, and the TM commit budget
--- against any mix of named and generated workloads, runs every cell
+crosses up to seven machine axes -- mesh size (core count), coherence
+protocol, operand-queue policy, operand-queue depth, queue-mode hop
+latency, memory latency, and the TM commit budget -- against any mix of
+named and generated workloads, runs every cell
 through the cached parallel :class:`~repro.harness.experiments.ExperimentRunner`
 (one runner per machine point, all sharing one content-hash result
 cache, so a re-sweep only simulates what changed), and reduces the
@@ -15,7 +16,10 @@ dominates B for a strategy when A's geomean speedup is at least B's
 while A spends no more of any *resource* (cores, queue entries) and
 enjoys no better *penalty* figure (hop latency, memory latency, TM
 commit cost) -- i.e. A performs at least as well on hardware that is no
-more expensive in any dimension, strictly better somewhere.  The
+more expensive in any dimension, strictly better somewhere.
+*Categorical* axes (coherence protocol, queue policy) have no price
+tag, so dominance additionally requires category equality and each
+category contributes its own slice of the frontier.  The
 surviving points are the interesting cost/performance trade-offs, and
 the whole result (every point + the frontiers) serializes to one JSON
 artifact for CI upload or notebook analysis.
@@ -33,13 +37,18 @@ from .experiments import ExperimentRunner, geomean
 from .journal import JournalReplay, RunJournal, flush_on_signals
 
 #: Artifact schema: bump the major on breaking layout changes.
-SWEEP_SCHEMA_VERSION = "1.0"
+#: 1.1 added the categorical ``coherence``/``queue_policy`` machine axes.
+SWEEP_SCHEMA_VERSION = "1.1"
 
 #: Machine axes and their dominance direction.  ``resource`` axes are
 #: hardware you pay for (less is cheaper); ``penalty`` axes are
-#: slowness you suffer (more is cheaper hardware).
+#: slowness you suffer (more is cheaper hardware); ``categorical``
+#: axes (coherence protocol, queue policy) have no cost ordering, so
+#: dominance requires equality -- each category keeps its own frontier.
 AXIS_KINDS: Dict[str, str] = {
     "cores": "resource",
+    "coherence": "categorical",
+    "queue_policy": "categorical",
     "queue_depth": "resource",
     "queue_cycles_per_hop": "penalty",
     "memory_latency": "penalty",
@@ -49,6 +58,8 @@ AXIS_KINDS: Dict[str, str] = {
 #: Axis name -> MachineConfig override key (cores shapes the mesh
 #: preset instead of overriding a field).
 _OVERRIDE_AXES = (
+    "coherence",
+    "queue_policy",
     "queue_depth",
     "queue_cycles_per_hop",
     "memory_latency",
@@ -63,6 +74,8 @@ class SweepSpec:
     workloads: Tuple[str, ...]
     strategies: Tuple[str, ...] = ("ilp", "tlp", "llp", "hybrid")
     cores: Tuple[int, ...] = (2, 4)
+    coherences: Tuple[str, ...] = ("snoop",)
+    queue_policies: Tuple[str, ...] = ("pair",)
     queue_depths: Tuple[int, ...] = (16,)
     queue_cycles_per_hop: Tuple[int, ...] = (1,)
     memory_latencies: Tuple[int, ...] = (100,)
@@ -75,10 +88,12 @@ class SweepSpec:
             if not values:
                 raise ValueError(f"axis {name} has no values")
 
-    def axes(self) -> Dict[str, Tuple[int, ...]]:
+    def axes(self) -> Dict[str, Tuple[object, ...]]:
         """Axis name -> swept values, in canonical order."""
         return {
             "cores": self.cores,
+            "coherence": self.coherences,
+            "queue_policy": self.queue_policies,
             "queue_depth": self.queue_depths,
             "queue_cycles_per_hop": self.queue_cycles_per_hop,
             "memory_latency": self.memory_latencies,
@@ -89,7 +104,7 @@ class SweepSpec:
         """Axes with more than one value (the sweep's real dimensions)."""
         return [name for name, values in self.axes().items() if len(values) > 1]
 
-    def machine_points(self) -> List[Dict[str, int]]:
+    def machine_points(self) -> List[Dict[str, object]]:
         """Every machine configuration in the cross product, as flat
         ``{axis: value}`` mappings."""
         names = list(self.axes())
@@ -103,7 +118,7 @@ class SweepSpec:
 class SweepPoint:
     """One (machine point, strategy) result, aggregated over workloads."""
 
-    machine: Dict[str, int]
+    machine: Dict[str, object]
     strategy: str
     #: Per-workload speedup over the same machine point's 1-core baseline.
     speedups: Dict[str, float] = field(default_factory=dict)
@@ -128,7 +143,12 @@ def dominates(a: SweepPoint, b: SweepPoint) -> bool:
     strictly_better = a.geomean_speedup > b.geomean_speedup
     for axis, kind in AXIS_KINDS.items():
         va, vb = a.machine[axis], b.machine[axis]
-        if kind == "resource":
+        if kind == "categorical":
+            # No cost ordering between protocols/policies: points only
+            # compete within the same category.
+            if va != vb:
+                return False
+        elif kind == "resource":
             if va > vb:
                 return False
             strictly_better = strictly_better or va < vb

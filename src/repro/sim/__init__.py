@@ -1,6 +1,13 @@
 """Cycle-level Voltron simulator."""
 
-from .caches import L1ICache, SetAssocCache, SharedL2, SnoopBus
+from .caches import (
+    DirectoryCoherence,
+    L1ICache,
+    SetAssocCache,
+    SharedL2,
+    SnoopBus,
+    make_coherence,
+)
 from .core import BARRIER_WAIT, HALTED, LISTENING, RUNNING, Core
 from .faults import FAULT_PROFILES, FaultConfig, FaultPlan
 from .machine import Deadlock, OutOfCycles, SimulatorError, VoltronMachine
@@ -11,10 +18,12 @@ from .stats import STALL_CATEGORIES, CoreStats, MachineStats
 from .tm import TransactionError, TransactionalMemory
 
 __all__ = [
+    "DirectoryCoherence",
     "L1ICache",
     "SetAssocCache",
     "SharedL2",
     "SnoopBus",
+    "make_coherence",
     "BARRIER_WAIT",
     "HALTED",
     "LISTENING",

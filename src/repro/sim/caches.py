@@ -1,5 +1,5 @@
-"""Cache hierarchy: private L1s kept coherent by a snooping MOESI bus,
-plus a shared (banked) L2.
+"""Cache hierarchy: private L1s kept coherent by a snooping MOESI bus
+or a scalable directory protocol, plus a shared (banked) L2.
 
 Timing-only model (values live in :class:`repro.sim.memory.MainMemory`):
 every access returns the number of cycles the in-order core is occupied.
@@ -17,13 +17,23 @@ State machine (MOESI):
 * write miss / upgrade: every other copy is invalidated; the requester
   holds M.
 * eviction of an M or O line writes back into the L2.
+
+:class:`DirectoryCoherence` implements the same MOESI state machine
+behind a directory instead of a broadcast bus: an explicit sharer
+vector per line answers "who holds this?" in O(sharers) rather than by
+snooping every L1, at the price of ``directory_latency`` extra cycles
+per miss or upgrade (the home-directory indirection).  The two
+protocols are architecturally equivalent -- identical state
+transitions, identical hit/miss pattern -- so final memory is
+bit-identical across them; only cycle counts differ.  Select with
+``MachineConfig.coherence`` via :func:`make_coherence`.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..arch.config import CacheConfig, MachineConfig
 
@@ -286,3 +296,146 @@ class SnoopBus:
                 self.invalidations += 1
                 if previous in (MODIFIED, OWNED):
                     self.l2.writeback(line_addr)
+
+
+class DirectoryCoherence(SnoopBus):
+    """Directory-based MOESI: same states and transitions as the snoop
+    bus, but holders are found through an explicit per-line sharer
+    vector (the directory) instead of a broadcast snoop.
+
+    A single snoop bus cannot scale past a handful of cores; the
+    directory makes coherence O(sharers) per transaction, which is what
+    lets the 16-64-core meshes simulate in reasonable time.  Timing
+    differences vs snoop: every miss and every S/O upgrade pays
+    ``config.directory_latency`` extra cycles for the home-directory
+    lookup.  State transitions are identical, so any program's final
+    memory (and its hit/miss pattern) matches the snoop bus bit for bit.
+    """
+
+    def __init__(self, config: MachineConfig) -> None:
+        super().__init__(config)
+        self.directory_latency = config.directory_latency
+        #: line_addr -> cores whose L1 holds the line in any valid state.
+        self._presence: Dict[int, Set[int]] = {}
+        #: Directory transactions (miss or upgrade indirections).
+        self.directory_lookups = 0
+
+    # -- public interface ----------------------------------------------------
+
+    def access(self, core: int, addr: int, is_store: bool) -> Tuple[int, bool]:
+        """Perform a data access; returns (cycles, was_miss)."""
+        line_addr = addr // self._line_words
+        l1 = self.l1ds[core]
+        line = l1.lookup(line_addr)
+        hit_latency = self._hit_latency
+        fault_extra = 0 if self.faults is None else self.faults.mem_delay()
+
+        if line is not None:
+            if not is_store:
+                return hit_latency + fault_extra, False
+            if line.state in (MODIFIED, EXCLUSIVE):
+                # Silent upgrade: this core is the only holder, and the
+                # directory already records it as such.
+                line.state = MODIFIED
+                return hit_latency + fault_extra, False
+            # Store to a Shared/Owned line: the directory names the
+            # sharers to invalidate (no broadcast).
+            self.directory_lookups += 1
+            self._invalidate_others(core, line_addr)
+            line.state = MODIFIED
+            return (
+                hit_latency + self.directory_latency + self.upgrade_latency
+                + fault_extra,
+                False,
+            )
+
+        self.directory_lookups += 1
+        supplier_latency = self._fetch(core, line_addr, is_store)
+        new_state = MODIFIED if is_store else self._fill_state(core, line_addr)
+        if is_store:
+            self._invalidate_others(core, line_addr)
+        evicted = l1.insert(line_addr, new_state)
+        if evicted is not None:
+            self._drop(core, evicted[0])
+            if evicted[1] in (MODIFIED, OWNED):
+                self.l2.writeback(evicted[0])
+        self._presence.setdefault(line_addr, set()).add(core)
+        cycles = (
+            hit_latency + self.directory_latency + supplier_latency
+            + fault_extra
+        )
+        if self.obs is not None:
+            self.obs.cache_miss(core, cycles)
+        return cycles, True
+
+    def flush_core(self, core: int) -> None:
+        """Write back and drop every line a core holds (used by tests)."""
+        l1 = self.l1ds[core]
+        for index, cache_set in enumerate(l1.sets):
+            for tag, line in list(cache_set.items()):
+                line_addr = tag * l1.n_sets + index
+                if line.state in (MODIFIED, OWNED):
+                    self.l2.writeback(line_addr)
+                self._drop(core, line_addr)
+            cache_set.clear()
+
+    def check_directory(self) -> None:
+        """Assert the sharer vectors exactly mirror the L1 arrays
+        (test/debug invariant; never called on the simulation path)."""
+        actual: Dict[int, Set[int]] = {}
+        for core, l1 in enumerate(self.l1ds):
+            for index, cache_set in enumerate(l1.sets):
+                for tag, line in cache_set.items():
+                    if line.state != INVALID:
+                        line_addr = tag * l1.n_sets + index
+                        actual.setdefault(line_addr, set()).add(core)
+        recorded = {
+            line_addr: sharers
+            for line_addr, sharers in self._presence.items()
+            if sharers
+        }
+        if recorded != actual:
+            raise AssertionError(
+                f"directory out of sync: recorded {recorded} != L1s {actual}"
+            )
+
+    # -- protocol internals ----------------------------------------------------
+
+    def _drop(self, core: int, line_addr: int) -> None:
+        sharers = self._presence.get(line_addr)
+        if sharers is not None:
+            sharers.discard(core)
+            if not sharers:
+                del self._presence[line_addr]
+
+    def _holders(self, requester: int, line_addr: int) -> List[Tuple[int, CacheLine]]:
+        holders = []
+        for other in self._presence.get(line_addr, ()):
+            if other == requester:
+                continue
+            l1 = self.l1ds[other]
+            index, tag = l1._index(line_addr)
+            line = l1.sets[index].get(tag)
+            if line is not None and line.state != INVALID:
+                holders.append((other, line))
+        return holders
+
+    def _invalidate_others(self, core: int, line_addr: int) -> None:
+        sharers = self._presence.get(line_addr)
+        if not sharers:
+            return
+        for other in sorted(sharers - {core}):
+            previous = self.l1ds[other].invalidate(line_addr)
+            self._drop(other, line_addr)
+            if previous is not None:
+                self.invalidations += 1
+                if previous in (MODIFIED, OWNED):
+                    self.l2.writeback(line_addr)
+
+
+def make_coherence(config: MachineConfig) -> SnoopBus:
+    """The coherence fabric ``config`` selects: the paper's snoop bus,
+    or the scalable directory for ``coherence="directory"``."""
+    if config.coherence == "directory":
+        return DirectoryCoherence(config)
+    return SnoopBus(config)

@@ -63,7 +63,7 @@ from ..isa.operations import (
     RegFile,
 )
 from ..isa.registers import Value
-from .caches import L1ICache, SnoopBus
+from .caches import L1ICache, make_coherence
 from .core import BARRIER_WAIT, HALTED, LISTENING, RUNNING, Core
 from .faults import FaultConfig, FaultPlan
 from .memory import MainMemory
@@ -127,7 +127,7 @@ class VoltronMachine:
         rows, cols = config.mesh_shape
         self.mesh = Mesh(rows, cols, config.n_cores)
         self.memory = MainMemory(compiled.program.initial_memory)
-        self.bus = SnoopBus(config)
+        self.bus = make_coherence(config)
         self.icaches = [L1ICache(config.l1i) for _ in range(config.n_cores)]
         self.network = OperandNetwork(self.mesh, config.network)
         self.tm = TransactionalMemory(self.memory)
@@ -197,6 +197,21 @@ class VoltronMachine:
         self.groups: List[List[Core]] = [
             self.cores[i : i + size] for i in range(0, config.n_cores, size)
         ]
+        # Clustered coupled mode (16-64-core meshes): the DVLIW schedule
+        # spans every core, so past one stall-bus group the whole machine
+        # still steps as ONE lock-step ensemble -- per-cluster stepping
+        # would break cross-cluster PUT/GET wire alignment.  The 1-bit
+        # stall bus only reaches coupled_group_size cores, though, so a
+        # stall crossing cluster boundaries pays cluster_stall_latency
+        # extra cycles (the cluster-level stall network above the buses),
+        # charged once per stall episode per blocked core.
+        if len(self.groups) > 1:
+            self.coupled_ensembles: List[List[Core]] = [self.cores]
+            self._cluster_penalty = config.cluster_stall_latency
+        else:
+            self.coupled_ensembles = self.groups
+            self._cluster_penalty = 0
+        self._cluster_penalized: Set[int] = set()
 
         self._dispatch: Dict[Opcode, Handler] = build_dispatch_table()
         self._memory_latency = config.memory_latency
@@ -309,7 +324,7 @@ class VoltronMachine:
                 ):
                     continue
                 if self.mode == "coupled":
-                    for group in self.groups:
+                    for group in self.coupled_ensembles:
                         self._step_group(group)
                 else:
                     for core in cores:
@@ -445,10 +460,18 @@ class VoltronMachine:
         send_stalled = 0
 
         if self.mode == "coupled":
-            for group in self.groups:
+            for group in self.coupled_ensembles:
                 running = [c for c in group if c.status == RUNNING]
                 if not running:
                     continue
+                if self._cluster_penalty:
+                    # The classifier can be the first to see a new stall
+                    # episode (an istall blocks the whole ensemble with
+                    # no busy increment, so fast-forward runs before the
+                    # next single step): charge the cross-cluster
+                    # penalty here too, or the skipped window would be
+                    # too short.
+                    self._apply_cluster_penalty(running, cycle)
                 blocked = [c for c in running if c.next_free > cycle]
                 if blocked:
                     # Stall bus: attribution is constant until the first
@@ -588,6 +611,21 @@ class VoltronMachine:
 
     # -- coupled (lock-step) stepping -------------------------------------------------
 
+    def _apply_cluster_penalty(self, running: List[Core], cycle: int) -> None:
+        """Clustered coupled mode: extend each *newly* blocked core's
+        episode by the cross-cluster stall-propagation latency.  The
+        ``_cluster_penalized`` set remembers which cores' current
+        episodes have already paid, and is cleared per core the moment
+        that core runs free again, so the next episode pays afresh."""
+        penalized = self._cluster_penalized
+        for core in running:
+            if core.next_free > cycle:
+                if core.id not in penalized:
+                    penalized.add(core.id)
+                    core.next_free += self._cluster_penalty
+            else:
+                penalized.discard(core.id)
+
     def _step_group(self, group: List[Core]) -> None:
         cycle = self.cycle
         running = [core for core in group if core.status == RUNNING]
@@ -603,7 +641,12 @@ class VoltronMachine:
                 for core in running:
                     core.block_until(cycle + hold, "latency")
 
-        # Stall bus: any blocked member stalls the whole group.
+        # Stall bus: any blocked member stalls the whole group.  Across
+        # cluster boundaries the stall signal rides the (slower)
+        # cluster-level network: each blocked core's episode stretches by
+        # the propagation penalty, once, when the episode is first seen.
+        if self._cluster_penalty:
+            self._apply_cluster_penalty(running, cycle)
         blocked = [core for core in running if core.next_free > cycle]
         if blocked:
             group_cause = blocked[0].pending_cause or "latency"

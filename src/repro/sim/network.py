@@ -12,6 +12,20 @@ the router moves it one hop per cycle along the XY route; the receiver's
 ``RECV`` matches on the sender id (the receive queue is a CAM) and spends
 one cycle reading it out -- 2 cycles + 1/hop end to end, as in the paper.
 ``SPAWN`` and ``RELEASE`` ride the same network as control messages.
+
+Two receive-queue organizations (``NetworkConfig.queue_policy``):
+
+* ``pair`` -- the paper's machine: one private ``queue_depth``-entry
+  FIFO per (src, dst) pair.  Storage grows with the square of the core
+  count, which is what the scaled meshes cannot afford.
+* ``vlink`` -- a Virtual-Link-style multi-producer queue: each receiver
+  owns a single ``queue_depth``-entry pool shared by every sender, plus
+  one architecturally reserved slot per producer.  The reservation is
+  the deadlock-freedom argument: a producer with nothing outstanding
+  can always send one message, so a consumer draining channels in an
+  order that differs from arrival order (e.g. a DOALL merge reading
+  workers in index order) can never wedge the producer it is waiting
+  for out of a pool filled by the others.
 """
 
 from __future__ import annotations
@@ -133,6 +147,11 @@ class OperandNetwork:
         # flooding sender from head-of-line-blocking another sender's
         # messages out of the receive CAM.
         self._outstanding: Dict[Tuple[int, int], int] = {}
+        # Virtual-Link policy: total messages outstanding toward each
+        # receiver's shared pool (see module docstring).  Unused (and
+        # unmaintained reads cost nothing) under the per-pair policy.
+        self._vlink = config.queue_policy == "vlink"
+        self._receiver_load: Dict[int, int] = {}
         self._seq = 0
         self.messages_delivered = 0
         self.send_stalls = 0
@@ -157,6 +176,14 @@ class OperandNetwork:
     # -- queue mode -----------------------------------------------------------
 
     def can_send(self, src: int, dst: int) -> bool:
+        if self._vlink:
+            # Reserved slot first: a producer with nothing outstanding
+            # may always send (the deadlock-freedom invariant); beyond
+            # that it competes for the receiver's shared pool.
+            return (
+                self._outstanding.get((src, dst), 0) == 0
+                or self._receiver_load.get(dst, 0) < self.config.queue_depth
+            )
         return (
             self._outstanding.get((src, dst), 0) < self.config.queue_depth
         )
@@ -180,6 +207,8 @@ class OperandNetwork:
                 "(callers must check can_send and stall)"
             )
         self._outstanding[(src, dst)] = self._outstanding.get((src, dst), 0) + 1
+        if self._vlink:
+            self._receiver_load[dst] = self._receiver_load.get(dst, 0) + 1
         hops = self.mesh.hops(src, dst)
         arrival = (
             cycle
@@ -317,6 +346,10 @@ class OperandNetwork:
     def _release_credit(self, message: Message) -> None:
         key = (message.src, message.dst)
         self._outstanding[key] = self._outstanding.get(key, 1) - 1
+        if self._vlink:
+            self._receiver_load[message.dst] = (
+                self._receiver_load.get(message.dst, 1) - 1
+            )
 
     def next_data_arrival(
         self, core: int, src: int, tag: object = None

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.arch import MachineConfig, four_core, mesh
-from repro.compiler import Codegen, LoweringError, VoltronCompiler
+from repro.arch import four_core, mesh
+from repro.compiler import Codegen, VoltronCompiler
 from repro.isa import ProgramBuilder
 from repro.isa.operations import Opcode
 from repro.workloads.kernels import KernelContext, doall_kernel
@@ -20,9 +20,20 @@ def _program():
 
 
 class TestGuards:
-    def test_eight_core_machine_rejected(self):
-        with pytest.raises(LoweringError, match="stall-bus group"):
-            VoltronCompiler(_program()).compile("hybrid", mesh(8))
+    def test_eight_core_machine_compiles_clustered(self):
+        """Meshes past the 4-core stall-bus group are no longer rejected:
+        coupled regions run as one clustered ensemble, and the result
+        matches the paper-size machine bit for bit."""
+        from repro.sim import VoltronMachine
+
+        compiler = VoltronCompiler(_program())
+        small = VoltronMachine(compiler.compile("hybrid", four_core()), four_core())
+        small.run()
+        config = mesh(8)
+        large = VoltronMachine(compiler.compile("hybrid", config), config)
+        assert large.coupled_ensembles == [large.cores]
+        large.run()
+        assert large.final_memory() == small.final_memory()
 
     def test_mismatched_machine_rejected_at_simulation(self):
         from repro.arch import two_core

@@ -54,7 +54,7 @@ class TestFacade:
         assert repro.list_benchmarks() == list(BENCHMARKS)
 
     def test_compile_benchmark(self):
-        compiled = repro.compile_benchmark("rawcaudio", cores=2, strategy="ilp")
+        compiled = repro.compile_benchmark("rawcaudio", machine=2, strategy="ilp")
         assert compiled is not None
 
     def test_run_cell_round_trip(self, baseline_payload):
@@ -211,7 +211,7 @@ class TestGeneratedFacade:
             seed=60, knobs=GenKnobs(regions=(1, 2), trips=(8, 16))
         )
         assert handle.startswith("gen:60:")
-        result = api.run_cell(handle, cores=2, strategy="tlp")
+        result = api.run_cell(handle, machine=2, strategy="tlp")
         assert result.correct
         assert result.cycles > 0
 
@@ -230,7 +230,7 @@ class TestGeneratedFacade:
         document = repro.sweep(
             [handle],
             strategies=("hybrid",),
-            cores=(2, 4),
+            machines=(2, 4),
             queue_depths=(4, 16),
             cache_dir=tmp_path / "cache",
             out=out_path,

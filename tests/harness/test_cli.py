@@ -27,7 +27,9 @@ class TestParser:
 
     def test_defaults(self):
         args = build_parser().parse_args(["run", "--benchmark", "gsmdecode"])
-        assert args.cores == 4
+        # Neither machine spelling is pinned at parse time; the run
+        # command resolves the paper's 4-core mesh when both are unset.
+        assert args.machine is None and args.cores is None
         assert args.strategy == "hybrid"
 
 

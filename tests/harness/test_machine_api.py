@@ -1,0 +1,163 @@
+"""The machine= API redesign: deprecation shims, preset plumbing
+through session/run_cell/sweep, and the CLI --machine flag."""
+
+import io
+
+import pytest
+
+import repro
+from repro import api
+from repro.arch.config import mesh, preset
+from repro.harness import cli
+
+
+class TestMachineKwarg:
+    def test_cores_kwarg_warns_and_still_works(self, tmp_path):
+        with pytest.deprecated_call():
+            result = api.run_cell(
+                "rawcaudio", cores=2, strategy="ilp", cache_dir=tmp_path
+            )
+        assert result.correct
+        assert result.n_cores == 2
+
+    def test_both_spellings_is_a_type_error(self):
+        with pytest.raises(TypeError, match="both"):
+            api.run_cell("rawcaudio", machine=2, cores=2)
+
+    def test_run_cell_requires_a_machine(self):
+        with pytest.raises(TypeError, match="machine"):
+            api.run_cell("rawcaudio")
+
+    def test_machine_accepts_preset_names(self, tmp_path):
+        result = api.run_cell(
+            "rawcaudio", "two-directory", strategy="ilp", cache_dir=tmp_path
+        )
+        assert result.correct
+        assert result.n_cores == 2
+
+    def test_machine_accepts_full_configs(self, tmp_path):
+        result = api.run_cell(
+            "rawcaudio", preset("two"), strategy="ilp", cache_dir=tmp_path
+        )
+        assert result.correct
+
+    def test_compile_benchmark_defaults_to_four_cores(self):
+        compiled = api.compile_benchmark("rawcaudio", strategy="ilp")
+        assert compiled is not None
+
+    def test_verify_benchmark_accepts_machine(self):
+        report = api.verify_benchmark(
+            "rawcaudio", "mesh16-directory", strategy="llp"
+        )
+        assert report.ok
+
+    def test_sweep_cores_kwarg_warns(self):
+        with pytest.deprecated_call():
+            with pytest.raises(ValueError):
+                # Invalid workload aborts before any simulation; the
+                # deprecation fires first.
+                api.sweep([], cores=(2,))
+
+    def test_list_presets_reexported(self):
+        names = repro.list_presets()
+        assert "mesh32-directory" in names
+        assert names == api.list_presets()
+
+
+class TestSessionMachine:
+    def test_session_applies_machine_knobs_across_core_counts(self):
+        runner = api.session(["rawcaudio"], machine="mesh16-directory")
+        # include_shape=False: the knobs follow every core count the
+        # session is asked for, not just 16.
+        assert runner.machine_config(16).coherence == "directory"
+        assert runner.machine_config(4).coherence == "directory"
+
+    def test_session_default_machine_is_untouched(self):
+        runner = api.session(["rawcaudio"])
+        assert runner.machine_config(4) == mesh(4)
+
+
+class TestSweepMachines:
+    def test_machine_entries_may_only_vary_cores_and_coherence(self):
+        import dataclasses
+
+        odd = dataclasses.replace(mesh(4), memory_latency=50)
+        with pytest.raises(ValueError, match="dedicated sweep axes"):
+            api.sweep(["rawcaudio"], machines=[odd])
+
+    def test_coherence_axis_derived_from_entries(self, tmp_path):
+        document = api.sweep(
+            ["rawcaudio"],
+            machines=[2, "two-directory"],
+            strategies=["ilp"],
+            cache_dir=tmp_path,
+        )
+        assert document["axes"]["coherence"] == ["snoop", "directory"]
+        assert document["axes"]["cores"] == [2]
+        machines = {
+            (p["machine"]["cores"], p["machine"]["coherence"])
+            for p in document["points"]
+        }
+        assert machines == {(2, "snoop"), (2, "directory")}
+
+
+class TestCliMachine:
+    def test_run_accepts_preset(self, tmp_path):
+        out = io.StringIO()
+        code = cli.main(
+            [
+                "run", "--benchmark", "rawcaudio", "--machine", "two",
+                "--strategy", "ilp", "--cache-dir", str(tmp_path / "c"),
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "2 core(s)" in out.getvalue()
+
+    def test_run_rejects_machine_plus_cores(self):
+        out = io.StringIO()
+        code = cli.main(
+            [
+                "run", "--benchmark", "rawcaudio", "--machine", "two",
+                "--cores", "4",
+            ],
+            out=out,
+        )
+        assert code == 2
+        assert "not both" in out.getvalue()
+
+    def test_run_rejects_unknown_preset(self):
+        out = io.StringIO()
+        code = cli.main(
+            ["run", "--benchmark", "rawcaudio", "--machine", "mesh128"],
+            out=out,
+        )
+        assert code == 2
+        assert "bad --machine" in out.getvalue()
+
+    def test_figure_choices_include_scaling(self):
+        assert "scaling" in cli.FIGURES
+
+    def test_verify_machine_sets_grid_and_knobs(self):
+        out = io.StringIO()
+        code = cli.main(
+            [
+                "verify", "--benchmarks", "rawcaudio",
+                "--machine", "mesh16-directory", "--strategies", "llp",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "1 cells" in out.getvalue()
+
+    def test_sweep_rejects_machines_plus_cores(self):
+        out = io.StringIO()
+        code = cli.main(
+            [
+                "sweep", "--workloads", "rawcaudio",
+                "--machines", "2", "--cores", "4",
+            ],
+            out=out,
+        )
+        assert code == 2
+        assert "not both" in out.getvalue()

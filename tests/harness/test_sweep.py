@@ -28,6 +28,8 @@ TINY = GenKnobs(regions=(1, 2), trips=(8, 16))
 def _point(speedup, strategy="hybrid", **machine):
     defaults = {
         "cores": 4,
+        "coherence": "snoop",
+        "queue_policy": "pair",
         "queue_depth": 16,
         "queue_cycles_per_hop": 1,
         "memory_latency": 100,
@@ -64,6 +66,8 @@ class TestSpec:
         ]
         assert {
             "cores",
+            "coherence",
+            "queue_policy",
             "queue_depth",
             "queue_cycles_per_hop",
             "memory_latency",
@@ -130,7 +134,7 @@ class TestRunSweep:
         document = run_sweep(
             spec, max_cycles=2_000_000, cache_dir=tmp_path / "cache"
         )
-        assert document["schema_version"] == "1.0"
+        assert document["schema_version"] == "1.1"
         assert document["varied_axes"] == [
             "cores",
             "queue_depth",

@@ -4,7 +4,7 @@ credit stalls, and mode restoration around calls."""
 import pytest
 
 from repro.arch import four_core, mesh, single_core, two_core
-from repro.compiler import LoweringError, VoltronCompiler, compile_program
+from repro.compiler import VoltronCompiler, compile_program
 from repro.isa import ProgramBuilder, run_program
 from repro.isa.operations import Opcode
 from repro.sim import VoltronMachine
@@ -91,10 +91,19 @@ class TestObservers:
 
 
 class TestGroupLimit:
-    def test_compiling_beyond_stall_bus_group_rejected(self):
+    def test_compiling_beyond_stall_bus_group_runs_clustered(self):
+        """Past the 4-core stall-bus group the compiler no longer
+        rejects the machine: coupled regions execute as one clustered
+        ensemble with the same final memory as the paper's grid."""
         program, _ = _doall_program()
-        with pytest.raises(LoweringError, match="stall-bus group"):
-            VoltronCompiler(program).compile("hybrid", mesh(8))
+        compiler = VoltronCompiler(program)
+        small = VoltronMachine(compiler.compile("hybrid", mesh(4)), mesh(4))
+        small.run()
+        config = mesh(8)
+        large = VoltronMachine(compiler.compile("hybrid", config), config)
+        assert large.coupled_ensembles == [large.cores]
+        large.run()
+        assert large.final_memory() == small.final_memory()
 
 
 class TestCreditStalls:

@@ -1,0 +1,115 @@
+"""Virtual-Link operand queues and clustered coupled mode.
+
+The vlink policy trades the paper's per-pair receive FIFOs (storage
+quadratic in the core count) for one shared pool per receiver plus a
+reserved slot per producer -- the reservation is the deadlock-freedom
+argument the unit tests below pin down.  Clustered coupled mode lets
+meshes beyond the 4-core stall-bus reach run DVLIW schedules as one
+lockstep ensemble with a cluster-network stall penalty.
+"""
+
+import dataclasses
+
+from repro.arch.config import NetworkConfig, four_core, mesh
+from repro.arch.mesh import Mesh
+from repro.compiler.driver import VoltronCompiler
+from repro.sim.machine import VoltronMachine
+from repro.sim.network import OperandNetwork
+from repro.workloads.suite import build
+
+
+def make_net(policy, depth=2, n_cores=4):
+    config = mesh(n_cores)
+    net_config = dataclasses.replace(
+        config.network, queue_policy=policy, queue_depth=depth
+    )
+    rows, cols = config.mesh_shape
+    return OperandNetwork(Mesh(rows, cols, n_cores), net_config)
+
+
+class TestVlinkFlowControl:
+    def test_pair_policy_caps_per_pair(self):
+        net = make_net("pair", depth=2)
+        net.send(0, 3, 1, cycle=0)
+        net.send(0, 3, 2, cycle=0)
+        assert not net.can_send(0, 3)
+        assert net.can_send(1, 3)  # a different pair has its own queue
+
+    def test_vlink_shares_one_receiver_pool(self):
+        net = make_net("vlink", depth=2)
+        net.send(0, 3, 1, cycle=0)
+        net.send(0, 3, 2, cycle=0)
+        # Core 0 filled the pool; its next send must wait...
+        assert not net.can_send(0, 3)
+        # ...and core 1 competes for the same pool, but its reserved
+        # slot admits one message even though the pool is full.
+        assert net.can_send(1, 3)
+        net.send(1, 3, 3, cycle=0)
+        assert not net.can_send(1, 3)
+
+    def test_reserved_slot_is_per_producer(self):
+        """Every producer with nothing outstanding can send one message
+        regardless of pool pressure -- a consumer draining producers in
+        index order can never wedge the awaited one out."""
+        net = make_net("vlink", depth=1)
+        net.send(0, 3, 1, cycle=0)  # pool is now full
+        for src in (1, 2):
+            assert net.can_send(src, 3)
+            net.send(src, 3, src, cycle=0)
+            assert not net.can_send(src, 3)
+
+    def test_receive_releases_pool_capacity(self):
+        net = make_net("vlink", depth=1)
+        net.send(0, 3, 7, cycle=0)
+        net.send(1, 3, 8, cycle=0)  # via core 1's reserved slot
+        assert not net.can_send(0, 3)
+        net.deliver(20)
+        message = net.try_receive(3, 0, 20)
+        assert message is not None and message.value == 7
+        assert net.can_send(0, 3)
+
+    def test_out_of_order_drain_never_deadlocks(self):
+        """DOALL-merge shape: every worker sends, the merge reads them
+        in index order while the pool is saturated."""
+        n = 9
+        net = make_net("vlink", depth=2, n_cores=n)
+        for src in range(1, n):
+            assert net.can_send(src, 0), f"producer {src} wedged"
+            net.send(src, 0, src, cycle=0)
+        net.deliver(50)
+        for src in range(1, n):
+            message = net.try_receive(0, src, 50)
+            assert message is not None and message.value == src
+
+
+class TestClusteredCoupledMode:
+    def test_small_machines_have_no_cluster_penalty(self):
+        bench = build("rawcaudio")
+        config = four_core()
+        compiled = VoltronCompiler(bench.program).compile("ilp", config)
+        machine = VoltronMachine(compiled, config)
+        assert machine._cluster_penalty == 0
+        assert machine.coupled_ensembles == machine.groups
+
+    def test_large_machines_step_one_ensemble(self):
+        bench = build("rawcaudio")
+        config = mesh(16)
+        compiled = VoltronCompiler(bench.program).compile("ilp", config)
+        machine = VoltronMachine(compiled, config)
+        assert len(machine.groups) == 4
+        assert machine.coupled_ensembles == [machine.cores]
+        assert machine._cluster_penalty == config.cluster_stall_latency
+
+    def test_cluster_penalty_costs_cycles_not_correctness(self):
+        bench = build("rawcaudio")
+        base = mesh(16)
+        free = dataclasses.replace(base, cluster_stall_latency=0)
+        slow = dataclasses.replace(base, cluster_stall_latency=6)
+        compiled = VoltronCompiler(bench.program).compile("ilp", base)
+        results = {}
+        for label, config in (("free", free), ("slow", slow)):
+            machine = VoltronMachine(compiled, config)
+            machine.run()
+            results[label] = (machine.stats.cycles, machine.final_memory())
+        assert results["slow"][0] >= results["free"][0]
+        assert results["slow"][1] == results["free"][1]
