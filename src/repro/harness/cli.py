@@ -76,6 +76,7 @@ kind[:function[:block]]`` tolerates known findings.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import List, Optional, Sequence
@@ -295,6 +296,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy",
         default="hybrid",
         choices=("baseline", "ilp", "tlp", "llp", "hybrid"),
+    )
+    run.add_argument(
+        "--queue-policy",
+        default=None,
+        choices=("pair", "vlink"),
+        help="override the machine's operand receive-queue policy: "
+        "per-pair reserved FIFOs or shared Virtual-Link pools",
     )
     run.add_argument(
         "--stalls", action="store_true", help="print the stall breakdown"
@@ -549,6 +557,14 @@ def _cmd_run(args, out) -> int:
     machine = _resolve_machine_flag(args, out)
     if machine is None:
         return 2
+    policy = getattr(args, "queue_policy", None)
+    if policy is not None and policy != machine.network.queue_policy:
+        machine = dataclasses.replace(
+            machine,
+            network=dataclasses.replace(
+                machine.network, queue_policy=policy
+            ),
+        )
     obs = None
     if args.trace_out or args.metrics_out:
         from ..obs import Observability, ObsConfig

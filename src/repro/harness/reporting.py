@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Sequence
 
+from ..sim.recovery import REMAP_HOPS_PREFIX
 from .experiments import arithmean
 
 
@@ -137,7 +138,7 @@ blackouts=4 (86 cycles dark) watchdog=4 rollbacks=4 remaps=2 degraded=0
         return ""
     totals = runner.recovery_totals()
     get = totals.get
-    return (
+    line = (
         f"recovery  : crc_errors={get('crc_errors', 0)} "
         f"drops={get('drops', 0)} retransmits={get('retransmits', 0)} "
         f"fallbacks={get('fallbacks', 0)} blackouts={get('blackouts', 0)} "
@@ -147,6 +148,23 @@ blackouts=4 (86 cycles dark) watchdog=4 rollbacks=4 remaps=2 degraded=0
         f"remaps={get('chunks_remapped', 0)} "
         f"degraded={get('regions_degraded', 0)}"
     )
+    # Scale-out channels and the remap-distance histogram only appear
+    # when they fired, so snoop/per-pair sessions keep the exact line
+    # existing goldens pin down.
+    if get("directory_scrubs", 0):
+        line += f" dir_scrubs={totals['directory_scrubs']}"
+    if get("vlink_reclaims", 0):
+        line += f" vlink_reclaims={totals['vlink_reclaims']}"
+    histogram = {
+        int(key[len(REMAP_HOPS_PREFIX):]): value
+        for key, value in totals.items()
+        if key.startswith(REMAP_HOPS_PREFIX) and value
+    }
+    if histogram:
+        line += " remap_hops=" + ",".join(
+            f"{hops}:{count}" for hops, count in sorted(histogram.items())
+        )
+    return line
 
 
 def render_bar_breakdown(

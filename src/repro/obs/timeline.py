@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from ..sim.recovery import EVENT_COUNTER_FOR_KIND
+from ..sim.recovery import EVENT_COUNTER_FOR_KIND, REMAP_HOPS_PREFIX
 from ..sim.stats import STALL_CATEGORIES, MachineStats
 
 
@@ -98,6 +98,12 @@ def summarize(obs) -> TimelineSummary:
             recovery["blackout_cycles"] = (
                 recovery.get("blackout_cycles", 0) + event.cycles
             )
+        elif event.kind == "remap":
+            # Remap events carry the migration distance in ``cycles``;
+            # folding the same histogram keys the RecoveryManager
+            # accumulates keeps reconcile() an exact-equality check.
+            key = f"{REMAP_HOPS_PREFIX}{event.cycles}"
+            recovery[key] = recovery.get(key, 0) + 1
 
     return TimelineSummary(
         cycles=obs.final_cycle if obs.final_cycle is not None else 0,

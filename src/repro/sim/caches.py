@@ -341,6 +341,8 @@ class DirectoryCoherence(SnoopBus):
             # Store to a Shared/Owned line: the directory names the
             # sharers to invalidate (no broadcast).
             self.directory_lookups += 1
+            if self.faults is not None:
+                fault_extra += self.faults.directory_delay()
             self._invalidate_others(core, line_addr)
             line.state = MODIFIED
             return (
@@ -350,6 +352,8 @@ class DirectoryCoherence(SnoopBus):
             )
 
         self.directory_lookups += 1
+        if self.faults is not None:
+            fault_extra += self.faults.directory_delay()
         supplier_latency = self._fetch(core, line_addr, is_store)
         new_state = MODIFIED if is_store else self._fill_state(core, line_addr)
         if is_store:
@@ -378,6 +382,18 @@ class DirectoryCoherence(SnoopBus):
                     self.l2.writeback(line_addr)
                 self._drop(core, line_addr)
             cache_set.clear()
+
+    def scrub_core(self, core: int) -> int:
+        """Blackout recovery: remove a dead core from every sharer
+        vector so later misses never wait on it as a supplier.  Modified
+        and Owned lines write back to the L2 (their data is
+        architecturally current -- blackouts wipe registers, not the
+        cache arrays), everything else is invalidated.  Returns the
+        number of lines scrubbed; the directory mirrors the L1s again
+        afterwards (``check_directory`` holds)."""
+        lines = self.l1ds[core].resident_lines()
+        self.flush_core(core)
+        return lines
 
     def check_directory(self) -> None:
         """Assert the sharer vectors exactly mirror the L1 arrays

@@ -25,7 +25,15 @@ involved).  Injection sites:
   progress guarantee survives any rate, including 1.0;
 * **transient stall-bus assertions** -- a coupled group is held for a
   few cycles as if a member were blocked
-  (:meth:`repro.sim.machine.VoltronMachine._step_group`).
+  (:meth:`repro.sim.machine.VoltronMachine._step_group`);
+* **directory-latency inflation** -- a directory transaction (miss or
+  upgrade indirection) occasionally waits extra cycles at the home node
+  (:meth:`repro.sim.caches.DirectoryCoherence.access`); a no-op on the
+  snoop bus, which has no directory to congest;
+* **Virtual-Link pool contention** -- a vlink SEND occasionally waits
+  extra cycles for a shared-pool slot at the receiver
+  (:meth:`repro.sim.network.OperandNetwork.send`); a no-op under the
+  per-pair queue policy.
 
 A second family of channels is *destructive*: instead of perturbing
 timing they damage architectural events, and the recovery subsystem
@@ -105,6 +113,8 @@ class FaultConfig:
     max_mem_delay: int = 24
     max_net_delay: int = 12
     max_stall_hold: int = 8
+    max_directory_delay: int = 16
+    max_vlink_hold: int = 8
     profile: str = "timing"
     corrupt_rate: float = 0.02
     drop_rate: float = 0.02
@@ -127,6 +137,7 @@ class FaultConfig:
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
         for name in ("max_mem_delay", "max_net_delay", "max_stall_hold",
+                     "max_directory_delay", "max_vlink_hold",
                      "max_blackout", "retransmit_budget", "backoff_base",
                      "heartbeat_misses", "blackout_budget"):
             if getattr(self, name) < 1:
@@ -196,6 +207,9 @@ class FaultPlan:
         self._ifetch = _Channel(seed, "ifetch", rate, config.max_mem_delay)
         self._net = _Channel(seed, "net", rate, config.max_net_delay)
         self._stall = _Channel(seed, "stall-bus", rate, config.max_stall_hold)
+        self._dir = _Channel(seed, "directory", rate,
+                             config.max_directory_delay)
+        self._vpool = _Channel(seed, "vlink", rate, config.max_vlink_hold)
         self._tm = _Channel(seed, "tm", tm_rate, 1)
         corrupt = config.corrupt_rate if destructive else 0.0
         drop = config.drop_rate if destructive else 0.0
@@ -247,6 +261,26 @@ class FaultPlan:
             self.obs.fault("stall_bus", delay)
         return delay
 
+    def directory_delay(self) -> int:
+        """Extra cycles for a directory transaction -- a miss or upgrade
+        indirection waiting at a congested home node (0 = no fault).
+        Probed only by :class:`~repro.sim.caches.DirectoryCoherence`, so
+        snoop-bus machines never consume this stream."""
+        delay = self._dir.fire()
+        if delay and self.obs is not None:
+            self.obs.fault("directory", delay)
+        return delay
+
+    def vlink_hold(self) -> int:
+        """Extra in-flight cycles for a vlink SEND contending for the
+        receiver's shared pool (0 = no fault).  Probed only under the
+        ``vlink`` queue policy, so per-pair machines never consume this
+        stream."""
+        delay = self._vpool.fire()
+        if delay and self.obs is not None:
+            self.obs.fault("vlink", delay)
+        return delay
+
     def spurious_conflict(self) -> bool:
         """Whether to abort a validation-passing commit anyway."""
         fired = self._tm.fire() > 0
@@ -295,6 +329,8 @@ class FaultPlan:
             ("ifetch", self._ifetch),
             ("net", self._net),
             ("stall_bus", self._stall),
+            ("directory", self._dir),
+            ("vlink", self._vpool),
             ("tm", self._tm),
             ("corrupt", self._corrupt),
             ("drop", self._drop),
@@ -306,8 +342,9 @@ class FaultPlan:
         return out
 
     def _channels(self):
-        return (self._mem, self._ifetch, self._net, self._stall, self._tm,
-                self._corrupt, self._drop, self._blackout)
+        return (self._mem, self._ifetch, self._net, self._stall, self._dir,
+                self._vpool, self._tm, self._corrupt, self._drop,
+                self._blackout)
 
     def __repr__(self) -> str:
         return f"FaultPlan({self.config!r}, injections={self.injections()})"

@@ -380,6 +380,12 @@ class VoltronMachine:
         self.stats.tx_aborts = self.tm.aborts
         if self.recovery is not None:
             self.stats.recovery = self.recovery.counters_dict()
+            check_directory = getattr(self.bus, "check_directory", None)
+            if check_directory is not None:
+                # Destructive runs scrub dead cores out of the sharer
+                # vectors mid-flight; prove the directory still mirrors
+                # the L1s once the run settles.
+                check_directory()
         if obs is not None:
             obs.finalize(self)
         return self.stats

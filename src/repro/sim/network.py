@@ -67,6 +67,13 @@ class Message:
     #: Transmission attempts so far (1 = the original send).  Past the
     #: retransmit budget the final attempt is delivered reliably.
     attempts: int = 1
+    #: Which receive-side storage this message occupies under the vlink
+    #: policy: ``'pool'`` (a shared-pool slot) or ``'reserved'`` (the
+    #: producer's architecturally reserved slot).  None under the
+    #: per-pair policy.  Exact per-message accounting is what lets the
+    #: link layer reclaim slots instead of leaking credits on
+    #: retransmission.
+    slot: Optional[str] = None
 
 
 class DirectWires:
@@ -147,11 +154,16 @@ class OperandNetwork:
         # flooding sender from head-of-line-blocking another sender's
         # messages out of the receive CAM.
         self._outstanding: Dict[Tuple[int, int], int] = {}
-        # Virtual-Link policy: total messages outstanding toward each
-        # receiver's shared pool (see module docstring).  Unused (and
-        # unmaintained reads cost nothing) under the per-pair policy.
+        # Virtual-Link policy: exact per-slot accounting (see module
+        # docstring).  ``_pool_load`` counts only shared-pool occupancy
+        # per receiver; ``_reserved`` holds the (src, dst) pairs whose
+        # architecturally reserved slot is occupied.  A message is
+        # tagged with the slot it took at send time (``Message.slot``),
+        # so releases and retransmissions never double-charge the pool.
+        # Both are unused under the per-pair policy.
         self._vlink = config.queue_policy == "vlink"
-        self._receiver_load: Dict[int, int] = {}
+        self._pool_load: Dict[int, int] = {}
+        self._reserved: set = set()
         self._seq = 0
         self.messages_delivered = 0
         self.send_stalls = 0
@@ -182,7 +194,7 @@ class OperandNetwork:
             # that it competes for the receiver's shared pool.
             return (
                 self._outstanding.get((src, dst), 0) == 0
-                or self._receiver_load.get(dst, 0) < self.config.queue_depth
+                or self._pool_load.get(dst, 0) < self.config.queue_depth
             )
         return (
             self._outstanding.get((src, dst), 0) < self.config.queue_depth
@@ -207,8 +219,18 @@ class OperandNetwork:
                 "(callers must check can_send and stall)"
             )
         self._outstanding[(src, dst)] = self._outstanding.get((src, dst), 0) + 1
+        slot = None
         if self._vlink:
-            self._receiver_load[dst] = self._receiver_load.get(dst, 0) + 1
+            # Exact slot assignment: take a shared-pool slot while one is
+            # free; otherwise this send was admitted through the
+            # producer's reserved slot (can_send guarantees it is free --
+            # the producer had nothing outstanding).
+            if self._pool_load.get(dst, 0) < self.config.queue_depth:
+                slot = "pool"
+                self._pool_load[dst] = self._pool_load.get(dst, 0) + 1
+            else:
+                slot = "reserved"
+                self._reserved.add((src, dst))
         hops = self.mesh.hops(src, dst)
         arrival = (
             cycle
@@ -218,6 +240,10 @@ class OperandNetwork:
         if self.faults is not None:
             key = (src, dst)
             arrival += self.faults.net_delay()
+            if self._vlink:
+                # Pool contention: the message occasionally waits extra
+                # cycles for its slot at the receiver.
+                arrival += self.faults.vlink_hold()
             floor = self._fifo_floor.get(key)
             if floor is not None and arrival < floor:
                 arrival = floor
@@ -231,6 +257,7 @@ class OperandNetwork:
             ready_cycle=arrival,
             tag=tag,
             seq=self._seq,
+            slot=slot,
         )
         if self.recovery is not None:
             message.crc = message_crc(message)
@@ -279,14 +306,34 @@ class OperandNetwork:
             else:
                 held[key] = message.ready_cycle
 
-    def requeue(self, message: Message) -> None:
+    def requeue(self, message: Message, cycle: int = 0) -> None:
         """Re-enter a failed transmission attempt as a retransmission
         arriving at its (already advanced) ``ready_cycle``.  Later
         messages of the same (src, dst) pair still in flight are pushed
         to arrive no earlier, and the pair's FIFO floor advances so
-        future sends queue up behind the retransmission."""
+        future sends queue up behind the retransmission.
+
+        Under the vlink policy the retransmission's slot is
+        re-adjudicated: a message that was holding a shared-pool slot
+        moves into its producer's reserved slot when that slot has freed
+        up in the meantime (the producer's earlier reserved message was
+        consumed during the backoff window).  The pool credit is
+        returned immediately -- the retransmission buffers in the
+        reserved slot -- instead of being held dark for the whole
+        backoff, which on a contended 64-core pool is a real slot leak.
+        """
         arrival = message.ready_cycle
         self._in_flight.append(message)
+        if self._vlink and message.slot == "pool":
+            key = (message.src, message.dst)
+            if key not in self._reserved:
+                self._pool_load[message.dst] = (
+                    self._pool_load.get(message.dst, 1) - 1
+                )
+                self._reserved.add(key)
+                message.slot = "reserved"
+                if self.recovery is not None:
+                    self.recovery.vlink_reclaim(message, cycle)
         for other in self._in_flight:
             if (
                 other.seq > message.seq
@@ -347,9 +394,13 @@ class OperandNetwork:
         key = (message.src, message.dst)
         self._outstanding[key] = self._outstanding.get(key, 1) - 1
         if self._vlink:
-            self._receiver_load[message.dst] = (
-                self._receiver_load.get(message.dst, 1) - 1
-            )
+            # Free exactly the slot this message occupied.
+            if message.slot == "reserved":
+                self._reserved.discard(key)
+            else:
+                self._pool_load[message.dst] = (
+                    self._pool_load.get(message.dst, 1) - 1
+                )
 
     def next_data_arrival(
         self, core: int, src: int, tag: object = None
@@ -404,4 +455,16 @@ class OperandNetwork:
     def quiescent(self) -> bool:
         return not self._in_flight and all(
             not queue for queue in self.receive_queues
+        )
+
+    def credits_balanced(self) -> bool:
+        """Whether every flow-control credit has been returned: no
+        outstanding per-pair credits, an empty shared pool, and no
+        occupied reserved slots.  On a quiescent network anything else
+        is a slot leak -- the chaos suite asserts this after every
+        destructive run."""
+        return (
+            not any(self._outstanding.values())
+            and not any(self._pool_load.values())
+            and not self._reserved
         )

@@ -75,7 +75,15 @@ RECOVERY_COUNTERS = (
     "chunk_rollbacks",
     "chunks_remapped",
     "regions_degraded",
+    "directory_scrubs",
+    "vlink_reclaims",
 )
+
+#: Dynamic histogram keys beside the stable counters: one
+#: ``remap_hops_<n>`` key per remap distance seen (mesh hops from the
+#: dead core to its adopter).  Like ``blackout_cycles`` they are an
+#: aggregate, not an event count, and ``events_recorded`` skips them.
+REMAP_HOPS_PREFIX = "remap_hops_"
 
 #: Recovery-event kind -> MachineStats.recovery counter it increments.
 #: :func:`repro.obs.timeline.reconcile` asserts the per-kind event
@@ -90,6 +98,8 @@ EVENT_COUNTER_FOR_KIND = {
     "chunk_rollback": "chunk_rollbacks",
     "remap": "chunks_remapped",
     "degrade": "regions_degraded",
+    "scrub": "directory_scrubs",
+    "vlink_reclaim": "vlink_reclaims",
 }
 
 
@@ -153,6 +163,34 @@ class RecoveryManager:
         #: Logical core -> physical core after the last recovery (the
         #: remap ledger; identity until a remap happens).
         self.placement: Dict[int, int] = {}
+        #: Coupled-cluster geometry: the stall-bus heartbeat only reaches
+        #: ``coupled_group_size`` cores, so on clustered machines the
+        #: watchdog's view of a remote cluster rides the (slower)
+        #: cluster-level stall network and detection pays
+        #: ``cluster_stall_latency`` extra (``machine._cluster_penalty``
+        #: is that latency, 0 on single-cluster machines).
+        config = machine.config
+        self._cluster_size = max(1, config.coupled_group_size)
+        #: Watchdog detections per coupled cluster (the per-cluster
+        #: heartbeat ledger; introspection and tests).
+        self.watchdog_by_cluster: Dict[int, int] = {}
+        #: Budgets scaled to the machine shape.  The per-config knobs
+        #: were tuned for the paper's 4-core machine; a mesh64 running
+        #: the same absolute budgets would degrade (serialize) after a
+        #: single unlucky core and fall back to reliable delivery on
+        #: every contended link.  Scaling keeps the *per-core* tolerance
+        #: constant: blackout budget grows with the core count, the
+        #: retransmit budget with the mesh diameter (longer routes, more
+        #: attempts in flight).  Both factors are exactly 1 for every
+        #: machine up to 4 cores, so small-machine schedules are
+        #: untouched.
+        rows, cols = config.mesh_shape
+        self.blackout_budget = (
+            plan.config.blackout_budget * max(1, config.n_cores // 4)
+        )
+        self.retransmit_budget = (
+            plan.config.retransmit_budget * max(1, (rows + cols) // 4)
+        )
 
     # -- event plumbing ----------------------------------------------------------
 
@@ -166,10 +204,12 @@ class RecoveryManager:
 
     def events_recorded(self) -> int:
         """Total detection/repair events (equals total counter bumps
-        minus the blackout_cycles aggregate)."""
+        minus the aggregates: blackout_cycles and the remap-distance
+        histogram)."""
         return sum(
             value for key, value in self.counters.items()
             if key != "blackout_cycles"
+            and not key.startswith(REMAP_HOPS_PREFIX)
         )
 
     # -- link layer: CRC + NACK/retransmit ---------------------------------------
@@ -182,7 +222,7 @@ class RecoveryManager:
         already been requeued as a retransmission and the caller must
         hold every later message of the same (src, dst) pair behind it.
         """
-        budget = self.config.retransmit_budget
+        budget = self.retransmit_budget
         if message.attempts > budget:
             # Deadlock escape: past the budget the retransmission rides
             # a reliable (ECC-protected, non-droppable) slot -- fault
@@ -234,13 +274,24 @@ class RecoveryManager:
                 f"seq={message.seq} attempts={message.attempts} reliable",
             )
         message.ready_cycle = resend_ready
-        network.requeue(message)
+        network.requeue(message, cycle)
         self._event(
             cycle, "retransmit", message.src,
             f"seq={message.seq} attempt={message.attempts} "
             f"ready={resend_ready}",
         )
         return False
+
+    def vlink_reclaim(self, message, cycle: int) -> None:
+        """Called by :meth:`OperandNetwork.requeue` when a retransmitted
+        vlink message moves from the shared pool into its producer's
+        (now free) reserved slot: the pool credit is returned instead of
+        riding dark through the whole backoff window."""
+        self.counters["vlink_reclaims"] += 1
+        self._event(
+            cycle, "vlink_reclaim", message.src,
+            f"seq={message.seq} dst={message.dst} pool credit returned",
+        )
 
     # -- blackouts: injection, watchdog, rollback, remap -------------------------
 
@@ -277,7 +328,13 @@ class RecoveryManager:
         )
         core.reg_ready.clear()
         core._fetched_block = None
-        detect = cycle + self.config.heartbeat_misses
+        # The watchdog hears the missed heartbeats over the stall
+        # fabric; on clustered machines the silence must propagate up
+        # the cluster-level stall network first.
+        detect = (
+            cycle + self.config.heartbeat_misses
+            + self.machine._cluster_penalty
+        )
         self._down[core_id] = {"wake": cycle + duration, "detect": detect}
         # Hold the pipeline at least until the watchdog fires; the
         # detection handler sets the final resume time.
@@ -287,7 +344,7 @@ class RecoveryManager:
             cycles=duration,
         )
         if (
-            count > self.config.blackout_budget
+            count > self.blackout_budget
             and core_id not in self._degrade_pending
         ):
             self._degrade_pending.add(core_id)
@@ -305,9 +362,14 @@ class RecoveryManager:
                 continue
             del self._down[core_id]
             self.counters["watchdog_detections"] += 1
+            cluster = core_id // self._cluster_size
+            self.watchdog_by_cluster[cluster] = (
+                self.watchdog_by_cluster.get(cluster, 0) + 1
+            )
             self._event(
                 cycle, "watchdog", core_id,
-                f"missed {self.config.heartbeat_misses} heartbeats",
+                f"missed {self.config.heartbeat_misses} heartbeats "
+                f"(cluster {cluster})",
             )
             self._recover(core_id, entry, cycle)
 
@@ -323,24 +385,45 @@ class RecoveryManager:
         core.jump(restart)
         self.counters["chunk_rollbacks"] += 1
         self._event(cycle, "chunk_rollback", core_id, f"restart={restart}")
+        # Directory fabrics must forget the dead core: a presence vector
+        # still naming it would route later misses to a supplier that is
+        # dark (and its M/O data would go stale once it re-executes).
+        # M/O lines write back, everything else invalidates, and the
+        # directory invariant is re-asserted after every recovery.
+        scrub = getattr(machine.bus, "scrub_core", None)
+        if scrub is not None:
+            lines = scrub(core_id)
+            self.counters["directory_scrubs"] += 1
+            self._event(
+                cycle, "scrub", core_id,
+                f"{lines} line(s) written back or invalidated",
+            )
+            machine.bus.check_directory()
         resume = cycle + RESTORE_LATENCY
         if entry["wake"] > resume and machine.config.n_cores > 1:
             # The core is still dark when the checkpoint is ready:
             # remap the orphaned chunk onto the nearest surviving core.
             # The checkpoint travels over the operand network, so the
-            # migration pays one queue traversal.
+            # migration pays one queue traversal -- plus the cluster
+            # stall-network hop when the adopter lives in a different
+            # coupled cluster.
             adopter = self._adopter(core_id)
+            hops = machine.mesh.hops(core_id, adopter)
             net = machine.network.config
             migration = (
-                net.queue_entry_cycles
-                + machine.mesh.hops(core_id, adopter)
-                * net.queue_cycles_per_hop
+                net.queue_entry_cycles + hops * net.queue_cycles_per_hop
             )
+            if adopter // self._cluster_size != core_id // self._cluster_size:
+                migration += machine._cluster_penalty
             resume += migration
             self.placement[core_id] = adopter
             self.counters["chunks_remapped"] += 1
+            key = f"{REMAP_HOPS_PREFIX}{hops}"
+            self.counters[key] = self.counters.get(key, 0) + 1
             self._event(
-                cycle, "remap", core_id, f"onto physical core {adopter}"
+                cycle, "remap", core_id,
+                f"onto physical core {adopter} ({hops} hop(s))",
+                cycles=hops,
             )
         else:
             resume = max(resume, entry["wake"])
@@ -351,12 +434,22 @@ class RecoveryManager:
         core.pending_cause = "latency"
 
     def _adopter(self, core_id: int) -> int:
-        n = self.machine.config.n_cores
-        for step in range(1, n):
-            candidate = (core_id + step) % n
-            if candidate not in self._down:
-                return candidate
-        return core_id
+        """The nearest surviving core by mesh distance (ties break to
+        the lowest core id, so the choice is deterministic).  On holey
+        near-square meshes "next index" can be a worst-case route away;
+        the checkpoint should travel the fewest hops that reach a live
+        core."""
+        mesh = self.machine.mesh
+        best = core_id
+        best_key = None
+        for candidate in range(self.machine.config.n_cores):
+            if candidate == core_id or candidate in self._down:
+                continue
+            key = (mesh.hops(core_id, candidate), candidate)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = candidate
+        return best
 
     # -- graceful degradation ----------------------------------------------------
 
@@ -370,7 +463,7 @@ class RecoveryManager:
             self.counters["regions_degraded"] += 1
             self._event(
                 cycle, "degrade", core_id,
-                f"blackout budget {self.config.blackout_budget} exceeded; "
+                f"blackout budget {self.blackout_budget} exceeded; "
                 "serialized chunk schedule",
             )
         self._degrade_pending.clear()

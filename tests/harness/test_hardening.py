@@ -283,6 +283,33 @@ class TestFaultKnobs:
         assert "watchdog=" in output and "remaps=" in output
         assert "correct   : outputs match the reference interpreter" in output
 
+    def test_cli_scale_destructive_run_extends_the_recovery_line(
+        self, tmp_path
+    ):
+        """A destructive run on a directory/vlink mesh reports the
+        scale-out channels -- directory scrubs, vlink pool reclaims, and
+        the remap-distance histogram -- appended to the recovery line
+        (small snoop machines keep the exact legacy line above)."""
+        out = io.StringIO()
+        assert (
+            cli_main(
+                ["run", "--benchmark", "171.swim",
+                 "--machine", "mesh16-directory", "--strategy", "llp",
+                 "--queue-policy", "vlink", "--faults",
+                 "--fault-seed", "42", "--fault-profile", "destructive",
+                 "--cache-dir", str(tmp_path)],
+                out=out,
+            )
+            == 0
+        )
+        output = out.getvalue()
+        assert "directory coherence, vlink queues" in output
+        assert "recovery  : crc_errors=" in output
+        assert "dir_scrubs=" in output
+        assert "vlink_reclaims=" in output
+        assert "remap_hops=" in output
+        assert "correct   : outputs match the reference interpreter" in output
+
     def test_fault_profile_flag_reaches_the_config(self, tmp_path):
         args = self._parse(
             ["run", "--benchmark", "rawcaudio", "--faults",

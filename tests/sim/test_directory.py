@@ -156,3 +156,118 @@ class TestSnoopDirectoryEquivalence:
                     c
                 ].state_of(addr)
         directory.check_directory()
+
+
+class TestDirectoryFaultHooks:
+    """Fault injection on the directory path: the inherited SnoopBus
+    latency hooks and the directory-latency channel of its own."""
+
+    def _plan(self, rate=1.0, **kwargs):
+        from repro.sim.faults import FaultConfig, FaultPlan
+
+        return FaultPlan(FaultConfig(seed=13, rate=rate, **kwargs))
+
+    def test_inherited_mem_faults_fire_on_the_directory_path(self):
+        clean = DirectoryCoherence(directory_config())
+        faulty = DirectoryCoherence(directory_config())
+        faulty.faults = self._plan()
+        clean_cycles, clean_miss = clean.access(0, 0, is_store=False)
+        cycles, miss = faulty.access(0, 0, is_store=False)
+        assert miss == clean_miss
+        assert faulty.faults.summary()["mem"] == 1
+        assert cycles > clean_cycles
+
+    def test_directory_channel_fires_on_misses_and_upgrades_only(self):
+        bus = DirectoryCoherence(directory_config())
+        bus.faults = self._plan()
+        bus.access(0, 0, is_store=False)  # miss: directory transaction
+        fires = bus.faults.summary()["directory"]
+        assert fires == 1
+        bus.access(0, 0, is_store=False)  # load hit: no indirection
+        assert bus.faults.summary()["directory"] == fires
+        bus.access(1, 0, is_store=False)  # second sharer: miss
+        assert bus.faults.summary()["directory"] == fires + 1
+        bus.access(0, 0, is_store=True)   # S->M upgrade: indirection
+        assert bus.faults.summary()["directory"] == fires + 2
+
+    def test_snoop_bus_never_consumes_the_directory_stream(self):
+        bus = SnoopBus(mesh(4))
+        bus.faults = self._plan()
+        for addr in range(0, 64, 4):
+            bus.access(0, addr, is_store=True)
+            bus.access(1, addr, is_store=False)
+        assert bus.faults.summary()["directory"] == 0
+        assert bus.faults.summary()["mem"] > 0
+
+    def test_directory_latency_faults_inflate_cycles_only(self):
+        """Same traffic with and without timing faults: identical
+        states, identical miss pattern, higher or equal cycles."""
+        clean = DirectoryCoherence(directory_config(8))
+        faulty = DirectoryCoherence(directory_config(8))
+        faulty.faults = self._plan(rate=0.3)
+        rng = random.Random(17)
+        for _ in range(600):
+            core = rng.randrange(8)
+            addr = rng.randrange(256)
+            is_store = rng.random() < 0.4
+            c_cycles, c_miss = clean.access(core, addr, is_store=is_store)
+            f_cycles, f_miss = faulty.access(core, addr, is_store=is_store)
+            assert c_miss == f_miss
+            assert f_cycles >= c_cycles
+        for core in range(8):
+            for addr in range(256):
+                assert clean.l1ds[core].state_of(addr) == faulty.l1ds[
+                    core
+                ].state_of(addr)
+        faulty.check_directory()
+
+    def test_check_directory_holds_under_timing_faults_end_to_end(self):
+        from repro.arch.config import resolve_machine
+        from repro.compiler import VoltronCompiler
+        from repro.sim.faults import FaultConfig, FaultPlan
+        from repro.sim.machine import VoltronMachine
+        from repro.workloads.suite import build
+
+        bench = build("gsmdecode")
+        config = resolve_machine("mesh16-directory")
+        compiled = VoltronCompiler(bench.program).compile("hybrid", config)
+        golden = VoltronMachine(compiled, config)
+        golden.run()
+        plan = FaultPlan(FaultConfig(seed=14, rate=0.02))
+        machine = VoltronMachine(compiled, config, faults=plan)
+        machine.run()
+        assert plan.summary()["directory"] > 0
+        machine.bus.check_directory()
+        assert machine.final_memory() == golden.final_memory()
+
+
+class TestScrubCore:
+    """Blackout recovery's directory scrub: dead cores leave every
+    sharer vector; M/O data survives via writeback."""
+
+    def test_scrub_removes_core_from_presence(self):
+        bus = DirectoryCoherence(directory_config())
+        bus.access(0, 0, is_store=True)   # core 0 holds the line M
+        bus.access(1, 64, is_store=False)
+        scrubbed = bus.scrub_core(0)
+        assert scrubbed == 1
+        assert bus.l1ds[0].state_of(0) == INVALID
+        line_addr = 0
+        assert 0 not in bus._presence.get(line_addr, set())
+        bus.check_directory()
+
+    def test_scrub_writes_back_modified_lines(self):
+        bus = DirectoryCoherence(directory_config())
+        bus.access(0, 0, is_store=True)
+        l2_before = bus.l2.array.state_of(0)
+        bus.scrub_core(0)
+        assert bus.l2.array.state_of(0) == MODIFIED
+        # A later miss is served by the L2, never by the dead core.
+        cycles, miss = bus.access(1, 0, is_store=False)
+        assert miss
+        bus.check_directory()
+
+    def test_scrub_of_empty_core_is_a_no_op(self):
+        bus = DirectoryCoherence(directory_config())
+        assert bus.scrub_core(2) == 0
+        bus.check_directory()

@@ -300,3 +300,120 @@ class TestBothProfile:
         assert machine.recovery.counters["retransmits"] > 0
         assert machine.final_memory() == golden.final_memory()
         assert stats.tx_commits == golden_stats.tx_commits
+
+
+class TestScaleOutRecovery:
+    """Cluster-aware watchdog, nearest-survivor remap, scaled budgets,
+    and the directory scrub on 16-64-core machines."""
+
+    def _scaled_machine(self, preset_name, strategy="llp", bench="171.swim",
+                        **fault_kwargs):
+        from repro.arch.config import resolve_machine
+
+        fault_kwargs.setdefault("profile", "destructive")
+        fault_kwargs.setdefault("corrupt_rate", 0.0)
+        fault_kwargs.setdefault("drop_rate", 0.0)
+        config = resolve_machine(preset_name)
+        compiled = VoltronCompiler(build(bench).program).compile(
+            strategy, config
+        )
+        golden = VoltronMachine(compiled, config)
+        faults = FaultPlan(FaultConfig(**fault_kwargs))
+        return VoltronMachine(compiled, config, faults=faults), golden
+
+    def test_budgets_scale_with_the_machine_shape(self):
+        small, _ = self._scaled_machine("four", blackout_rate=0.001)
+        assert small.recovery.blackout_budget == 2      # config default x 1
+        assert small.recovery.retransmit_budget == 4    # config default x 1
+        big, _ = self._scaled_machine("mesh64-directory", blackout_rate=0.001)
+        assert big.recovery.blackout_budget == 2 * 16   # 64 cores
+        assert big.recovery.retransmit_budget == 4 * 4  # 8x8 mesh diameter
+
+    def test_adopter_is_the_nearest_survivor(self):
+        machine, _ = self._scaled_machine("mesh16", blackout_rate=0.001)
+        recovery = machine.recovery
+        # Core 0 sits at (0, 0) on the 4x4 mesh: cores 1 and 4 are one
+        # hop away; ties break to the lowest id.
+        assert recovery._adopter(0) == 1
+        recovery._down[1] = {"wake": 0, "detect": 0}
+        assert recovery._adopter(0) == 4
+        # The old linear scan would have picked core 2 (two hops).
+        assert machine.mesh.hops(0, 4) < machine.mesh.hops(0, 2)
+        del recovery._down[1]
+
+    def test_clustered_detection_pays_the_stall_network_penalty(self):
+        """The watchdog hears a remote cluster's silence only after the
+        cluster stall network propagates it: detection on a clustered
+        machine lands ``cluster_stall_latency`` later than the 4-core
+        machine's ``heartbeat_misses`` window."""
+        def detect_delay(machine):
+            # Arm the recoverable window by hand (an active transaction
+            # whose checkpoint matches the call depth), then inject.
+            core = machine.cores[0]
+            machine.tm.begin(0, region=0, order=0, n_chunks=1)
+            core.checkpoint_registers("entry")
+            assert machine.recovery.maybe_blackout(core, cycle=100)
+            return machine.recovery._down[0]["detect"] - 100
+
+        small, _ = self._scaled_machine("four", blackout_rate=1.0)
+        assert small._cluster_penalty == 0
+        misses = small.recovery.config.heartbeat_misses
+        assert detect_delay(small) == misses
+        big, _ = self._scaled_machine("mesh16", blackout_rate=1.0)
+        assert big._cluster_penalty == big.config.cluster_stall_latency
+        assert detect_delay(big) == misses + big.config.cluster_stall_latency
+
+    def test_directory_blackouts_scrub_and_stay_bit_identical(self):
+        machine, golden = self._scaled_machine(
+            "mesh16-directory", seed=20, blackout_rate=0.0005,
+        )
+        golden_stats = golden.run()
+        assert golden_stats.tx_commits > 0
+        stats = machine.run()
+        counters = machine.recovery.counters
+        assert counters["blackouts"] > 0
+        assert counters["directory_scrubs"] == counters["watchdog_detections"]
+        machine.bus.check_directory()
+        assert machine.final_memory() == golden.final_memory()
+        assert stats.tx_commits == golden_stats.tx_commits
+        # The per-cluster heartbeat ledger partitions the detections.
+        by_cluster = machine.recovery.watchdog_by_cluster
+        assert sum(by_cluster.values()) == counters["watchdog_detections"]
+        assert all(
+            0 <= cluster < 4 for cluster in by_cluster
+        )  # 16 cores / coupled_group_size=4
+
+    def test_snoop_blackouts_never_scrub(self):
+        machine, golden = self._scaled_machine(
+            "mesh16-snoop", seed=20, blackout_rate=0.0005,
+        )
+        golden.run()
+        machine.run()
+        counters = machine.recovery.counters
+        assert counters["blackouts"] > 0
+        assert counters["directory_scrubs"] == 0
+        assert machine.final_memory() == golden.final_memory()
+
+    def test_remap_histogram_lands_in_stats_and_report_order(self):
+        from repro.sim.recovery import REMAP_HOPS_PREFIX
+
+        machine, golden = self._scaled_machine(
+            "mesh16-directory", seed=21, blackout_rate=0.0005,
+            max_blackout=200,
+        )
+        golden.run()
+        stats = machine.run()
+        counters = machine.recovery.counters
+        assert counters["chunks_remapped"] > 0
+        histogram = {
+            key: value for key, value in stats.recovery.items()
+            if key.startswith(REMAP_HOPS_PREFIX)
+        }
+        assert sum(histogram.values()) == counters["chunks_remapped"]
+        assert all(int(key.rsplit("_", 1)[1]) >= 1 for key in histogram)
+        # Aggregates never count as detection/repair events.
+        assert machine.recovery.events_recorded() == sum(
+            value for key, value in counters.items()
+            if key != "blackout_cycles"
+            and not key.startswith(REMAP_HOPS_PREFIX)
+        )

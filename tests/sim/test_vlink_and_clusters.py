@@ -80,6 +80,117 @@ class TestVlinkFlowControl:
         for src in range(1, n):
             message = net.try_receive(0, src, 50)
             assert message is not None and message.value == src
+        assert net.credits_balanced()
+
+    def test_reserved_slot_message_does_not_charge_the_pool(self):
+        """The double-reserve audit: a message admitted through its
+        producer's reserved slot must not also consume a shared-pool
+        credit.  Before exact slot accounting, core 1's reserved-slot
+        message below also counted against the pool, so draining core
+        0's pool message left the pool looking full."""
+        net = make_net("vlink", depth=1)
+        net.send(0, 3, 7, cycle=0)  # takes the one pool slot
+        net.send(1, 3, 8, cycle=0)  # admitted via core 1's reserved slot
+        assert net._pool_load[3] == 1  # not 2: the reserved send is free
+        net.deliver(20)
+        message = net.try_receive(3, 0, 20)
+        assert message is not None and message.value == 7
+        # The pool is genuinely empty even though core 1's message is
+        # still unread in its reserved slot.
+        assert net._pool_load[3] == 0
+        assert (1, 3) in net._reserved
+
+    def test_release_frees_exactly_the_occupied_slot(self):
+        net = make_net("vlink", depth=1)
+        net.send(0, 3, 7, cycle=0)
+        net.send(1, 3, 8, cycle=0)
+        net.deliver(20)
+        assert net.try_receive(3, 1, 20).value == 8
+        assert (1, 3) not in net._reserved  # reserved slot released
+        assert net._pool_load[3] == 1       # pool slot still held
+        assert net.try_receive(3, 0, 20).value == 7
+        assert net.credits_balanced()
+
+
+class TestVlinkRetransmission:
+    """The link layer's slot reclamation on retransmission
+    (``OperandNetwork.requeue`` with destructive faults armed)."""
+
+    class _RecoveryStub:
+        def __init__(self):
+            self.reclaims = []
+
+        def vlink_reclaim(self, message, cycle):
+            self.reclaims.append((message.seq, cycle))
+
+        def link_accept(self, network, message, cycle):
+            return True  # every delivery attempt lands intact
+
+    def test_requeued_pool_message_moves_to_free_reserved_slot(self):
+        """A retransmission whose producer's reserved slot is free moves
+        into it, returning the pool credit for the whole backoff window
+        instead of holding it dark."""
+        net = make_net("vlink", depth=1)
+        stub = self._RecoveryStub()
+        net.recovery = stub
+        net.send(1, 3, 9, cycle=0)          # pool slot
+        assert not net.can_send(1, 3)        # outstanding, pool full
+        message = net._in_flight.pop()       # the link layer's view of a
+        message.ready_cycle = 40             # failed attempt, backed off
+        net.requeue(message, cycle=5)
+        assert message.slot == "reserved"
+        assert net._pool_load[3] == 0        # pool credit returned
+        assert (1, 3) in net._reserved
+        assert stub.reclaims == [(message.seq, 5)]
+        # The freed pool slot admits core 1's next message behind the
+        # retransmission -- the re-credit is architecturally visible.
+        assert net.can_send(1, 3)
+
+    def test_requeued_reserved_message_keeps_its_slot(self):
+        """A retransmission already in the reserved slot stays there:
+        no pool charge, no double reservation."""
+        net = make_net("vlink", depth=1)
+        stub = self._RecoveryStub()
+        net.recovery = stub
+        net.send(0, 3, 7, cycle=0)           # pool
+        net.send(1, 3, 8, cycle=0)           # reserved
+        message = next(m for m in net._in_flight if m.src == 1)
+        net._in_flight.remove(message)
+        message.ready_cycle = 40
+        net.requeue(message, cycle=5)
+        assert message.slot == "reserved"
+        assert net._pool_load[3] == 1
+        assert stub.reclaims == []
+
+    def test_requeue_without_free_reservation_competes_for_the_pool(self):
+        """Two pool messages from one producer: the retransmitted one
+        cannot move (the producer's reserved slot would only free once
+        its other message drains), so it keeps its pool slot."""
+        net = make_net("vlink", depth=2)
+        stub = self._RecoveryStub()
+        net.recovery = stub
+        net.send(1, 3, 9, cycle=0)           # pool
+        net.send(1, 3, 10, cycle=0)          # pool
+        first = next(m for m in net._in_flight if m.value == 9)
+        net._in_flight.remove(first)
+        first.ready_cycle = 40
+        net.requeue(first, cycle=5)
+        assert first.slot == "reserved"      # slot WAS free: reclaimed
+        assert net._pool_load[3] == 1
+        # ...but a second failure from the same producer finds the
+        # reservation occupied and must keep competing for the pool.
+        second = next(m for m in net._in_flight if m.value == 10)
+        net._in_flight.remove(second)
+        second.ready_cycle = 50
+        net.requeue(second, cycle=6)
+        assert second.slot == "pool"
+        assert net._pool_load[3] == 1
+        assert len(stub.reclaims) == 1
+        # Draining everything returns every credit.
+        net.deliver(60)
+        assert net.try_receive(3, 1, 60).value == 9
+        assert net.try_receive(3, 1, 60).value == 10
+        assert net.credits_balanced()
 
 
 class TestClusteredCoupledMode:
